@@ -1,0 +1,204 @@
+(* Benchmark harness.
+
+   Running this executable first regenerates every table and figure of the
+   paper's evaluation (printed as text tables; see EXPERIMENTS.md for the
+   recorded paper-vs-measured comparison), then times the pipeline stage
+   behind each figure with Bechamel — one Test.make per experiment, plus
+   the substrate operations they are built from. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures: one small SPEC-like program and one kernel.        *)
+(* ------------------------------------------------------------------ *)
+
+let fixture =
+  lazy
+    (let e =
+       match Workloads.Suite.find "compress" with
+       | Some e -> e
+       | None -> assert false
+     in
+     Cccs.Workload_run.load e)
+
+let kernel =
+  lazy
+    (let e =
+       match Workloads.Suite.find "fir" with
+       | Some e -> e
+       | None -> assert false
+     in
+     Cccs.Workload_run.load e)
+
+let program () = (Lazy.force fixture).Cccs.Workload_run.compiled.Cccs.Pipeline.program
+let trace () = (Lazy.force fixture).Cccs.Workload_run.exec.Emulator.Exec.trace
+
+(* ------------------------------------------------------------------ *)
+(* One benchmark group per figure.                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 5: the compression schemes themselves. *)
+let bench_fig5 =
+  Test.make_grouped ~name:"fig5" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"byte_huffman"
+        (Staged.stage (fun () -> Encoding.Byte_huffman.build (program ())));
+      Test.make ~name:"full_huffman"
+        (Staged.stage (fun () -> Encoding.Full_huffman.build (program ())));
+      Test.make ~name:"stream_huffman"
+        (Staged.stage (fun () -> Encoding.Stream_huffman.build (program ())));
+      Test.make ~name:"tailored"
+        (Staged.stage (fun () -> Encoding.Tailored.build (program ())));
+    ]
+
+(* Figure 7: ATT generation. *)
+let bench_fig7 =
+  let scheme = lazy (Encoding.Full_huffman.build (program ())) in
+  Test.make_grouped ~name:"fig7" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"att_build"
+        (Staged.stage (fun () ->
+             Encoding.Att.build (Lazy.force scheme) ~line_bits:240 (program ())));
+    ]
+
+(* Figure 10: decoder complexity evaluation. *)
+let bench_fig10 =
+  Test.make_grouped ~name:"fig10" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"decoder_cost"
+        (Staged.stage (fun () -> Huffman.Decoder_cost.transistors ~n:16 ~m:40));
+    ]
+
+(* Figure 13: the fetch simulators. *)
+let bench_fig13 =
+  let mk model cfg scheme =
+    let sch = lazy (scheme (program ())) in
+    let att =
+      lazy
+        (Encoding.Att.build (Lazy.force sch)
+           ~line_bits:cfg.Fetch.Config.line_bits (program ()))
+    in
+    Staged.stage (fun () ->
+        Fetch.Sim.run ~model ~cfg ~scheme:(Lazy.force sch)
+          ~att:(Lazy.force att) (trace ()))
+  in
+  Test.make_grouped ~name:"fig13" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"sim_base"
+        (mk Fetch.Config.Base Fetch.Config.default_base Encoding.Baseline.build);
+      Test.make ~name:"sim_compressed"
+        (mk Fetch.Config.Compressed Fetch.Config.default
+           Encoding.Full_huffman.build);
+      Test.make ~name:"sim_tailored"
+        (mk Fetch.Config.Tailored Fetch.Config.default Encoding.Tailored.build);
+    ]
+
+(* Figure 14 measures the same runs as Figure 13; its distinct cost is the
+   bus transition accounting. *)
+let bench_fig14 =
+  let image = lazy (Encoding.Baseline.build (program ())).Encoding.Scheme.image in
+  Test.make_grouped ~name:"fig14" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"bus_line_flips"
+        (Staged.stage (fun () ->
+             let bus =
+               Fetch.Bus.create Fetch.Config.default ~image:(Lazy.force image)
+             in
+             for line = 0 to 63 do
+               ignore (Fetch.Bus.fetch_line bus line)
+             done;
+             Fetch.Bus.total_flips bus));
+    ]
+
+(* Substrate: the pieces every figure depends on. *)
+let bench_substrate =
+  Test.make_grouped ~name:"substrate" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"baseline_encode"
+        (Staged.stage (fun () -> Tepic.Program.baseline_image (program ())));
+      Test.make ~name:"compile_kernel"
+        (Staged.stage (fun () ->
+             Cccs.Pipeline.compile (Workloads.Kernels.fir ~taps:16 ~samples:16)));
+      Test.make ~name:"emulate_kernel"
+        (Staged.stage (fun () ->
+             Emulator.Exec.run
+               (Lazy.force kernel).Cccs.Workload_run.compiled
+                 .Cccs.Pipeline.program));
+      Test.make ~name:"huffman_codebook_256"
+        (Staged.stage (fun () ->
+             let freq = Huffman.Freq.create () in
+             for i = 0 to 255 do
+               Huffman.Freq.add_many freq i ((i * 37 mod 251) + 1)
+             done;
+             Huffman.Codebook.make ~max_len:12 ~symbol_bits:(fun _ -> 8) freq));
+    ]
+
+(* Extensions: superblock fetch units and gshare prediction. *)
+let bench_extensions =
+  let units = lazy (Fetch.Superblock.form (program ())) in
+  let base = lazy (Encoding.Baseline.build (program ())) in
+  let att =
+    lazy
+      (Encoding.Att.build (Lazy.force base)
+         ~line_bits:Fetch.Config.default_base.Fetch.Config.line_bits
+         (program ()))
+  in
+  Test.make_grouped ~name:"extensions" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"superblock_form"
+        (Staged.stage (fun () -> Fetch.Superblock.form (program ())));
+      Test.make ~name:"superblock_sim"
+        (Staged.stage (fun () ->
+             Fetch.Superblock.run ~model:Fetch.Config.Base
+               ~cfg:Fetch.Config.default_base ~scheme:(Lazy.force base)
+               ~att:(Lazy.force att) (Lazy.force units) (trace ())));
+      Test.make ~name:"gshare_sim"
+        (Staged.stage (fun () ->
+             let cfg =
+               {
+                 Fetch.Config.default_base with
+                 Fetch.Config.predictor = Fetch.Config.Gshare 12;
+               }
+             in
+             Fetch.Sim.run ~model:Fetch.Config.Base ~cfg
+               ~scheme:(Lazy.force base) ~att:(Lazy.force att) (trace ())));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"cccs" ~fmt:"%s %s"
+    [ bench_fig5; bench_fig7; bench_fig10; bench_fig13; bench_fig14;
+      bench_substrate; bench_extensions ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n%-42s %16s %8s\n" "benchmark" "ns/run" "r^2";
+  Printf.printf "%s\n" (String.make 68 '-');
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      Printf.printf "%-42s %16.1f %8.3f\n" name est r2)
+    (List.sort compare rows)
+
+let () =
+  Format.printf
+    "CCCS reproduction — Larin & Conte, MICRO-32 (1999)@.%s@.@."
+    (String.make 78 '=');
+  Cccs.Report.all Format.std_formatter ();
+  run_benchmarks ()

@@ -1,0 +1,291 @@
+(* cccs — command-line driver for the code-compression study.
+
+   Subcommands: list, compile, compress, simulate, decoder, and the
+   per-figure experiment reproductions (fig5..fig14, all). *)
+
+open Cmdliner
+
+let find_workload name =
+  match Workloads.Suite.find name with
+  | Some e -> e
+  | None ->
+      Printf.eprintf "unknown workload %S; try `cccs list`\n" name;
+      exit 1
+
+let bench_arg =
+  let doc = "Workload name (see `cccs list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Workloads.Suite.entry) ->
+        Printf.printf "%-14s %s\n" e.name
+          (match e.kind with
+          | `Spec -> "SPECint95-like synthetic program"
+          | `Kernel -> "hand-written DSP kernel"))
+      Workloads.Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads")
+    Term.(const run $ const ())
+
+let compile_cmd =
+  let run bench =
+    let r = Cccs.Workload_run.load (find_workload bench) in
+    let c = r.Cccs.Workload_run.compiled in
+    let prog = c.Cccs.Pipeline.program in
+    Printf.printf "workload      %s\n" r.Cccs.Workload_run.name;
+    Printf.printf "blocks        %d\n" (Tepic.Program.num_blocks prog);
+    Printf.printf "static ops    %d\n" (Tepic.Program.num_ops prog);
+    Printf.printf "static MOPs   %d\n" (Tepic.Program.num_mops prog);
+    Printf.printf "schedule ILP  %.2f ops/cycle\n" c.Cccs.Pipeline.ilp;
+    Printf.printf "speculated    %d ops\n" c.Cccs.Pipeline.hoisted;
+    Printf.printf "spill slots   %d\n" c.Cccs.Pipeline.spill_slots;
+    List.iter
+      (fun (cls, peak) ->
+        Printf.printf "peak live %s   %d\n" (Tepic.Reg.cls_to_string cls) peak)
+      c.Cccs.Pipeline.max_live;
+    Printf.printf "executed ops  %d\n"
+      (Emulator.Trace.total_ops r.Cccs.Workload_run.exec.Emulator.Exec.trace);
+    Printf.printf "block visits  %d\n"
+      (Emulator.Trace.length r.Cccs.Workload_run.exec.Emulator.Exec.trace)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile and execute a workload; print statistics")
+    Term.(const run $ bench_arg)
+
+let compress_cmd =
+  let run bench =
+    let r = Cccs.Workload_run.load (find_workload bench) in
+    let s = Cccs.Experiments.schemes_of r in
+    let base_bits = s.Cccs.Experiments.base.Encoding.Scheme.code_bits in
+    Printf.printf "%-10s %10s %10s %8s %12s\n" "scheme" "code-bits" "table-bits"
+      "ratio" "transistors";
+    List.iter
+      (fun (sc : Encoding.Scheme.t) ->
+        Printf.printf "%-10s %10d %10d %8.3f %12d\n" sc.Encoding.Scheme.name
+          sc.Encoding.Scheme.code_bits sc.Encoding.Scheme.table_bits
+          (Encoding.Scheme.ratio sc ~baseline_bits:base_bits)
+          sc.Encoding.Scheme.decoder.Encoding.Scheme.transistors)
+      ([ s.Cccs.Experiments.base; s.Cccs.Experiments.byte ]
+      @ List.map snd s.Cccs.Experiments.streams
+      @ [
+          s.Cccs.Experiments.full;
+          s.Cccs.Experiments.tailored;
+          s.Cccs.Experiments.dict;
+        ])
+  in
+  Cmd.v
+    (Cmd.info "compress" ~doc:"Build every encoding scheme for a workload")
+    Term.(const run $ bench_arg)
+
+let simulate_cmd =
+  let run bench =
+    ignore (Cccs.Workload_run.load (find_workload bench));
+    let row = List.find
+        (fun (x : Cccs.Experiments.fig13_row) -> x.bench = bench)
+        (Cccs.Experiments.fig13 ())
+    in
+    List.iter
+      (fun res -> Format.printf "%a@." Fetch.Sim.pp res)
+      [ row.ideal; row.base; row.compressed; row.tailored ]
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the four fetch models on a SPEC-like workload")
+    Term.(const run $ bench_arg)
+
+let decoder_cmd =
+  let kind_arg =
+    let doc = "Decoder to emit: tailored | full | byte." in
+    Arg.(value & opt string "tailored" & info [ "kind" ] ~doc)
+  in
+  let run bench kind =
+    let r = Cccs.Workload_run.load (find_workload bench) in
+    let s = Cccs.Experiments.schemes_of r in
+    match kind with
+    | "tailored" ->
+        print_string
+          (Encoding.Decoder_gen.tailored_decoder
+             ~module_name:(bench ^ "_tailored_decoder")
+             s.Cccs.Experiments.tailored_spec)
+    | "full" | "byte" ->
+        (* Rebuild the codebook to emit its dictionary ROM. *)
+        let prog = r.Cccs.Workload_run.compiled.Cccs.Pipeline.program in
+        let freq = Huffman.Freq.create () in
+        Tepic.Program.iter_ops
+          (fun op ->
+            if kind = "full" then
+              Huffman.Freq.add freq (Tepic.Encode.to_int op)
+            else
+              String.iter
+                (fun c -> Huffman.Freq.add freq (Char.code c))
+                (Tepic.Encode.encode_ops [ op ]))
+          prog;
+        let book =
+          Huffman.Codebook.make
+            ~max_len:
+              (if kind = "full" then Encoding.Full_huffman.max_code_len
+               else Encoding.Byte_huffman.max_code_len)
+            ~symbol_bits:(fun _ -> if kind = "full" then 40 else 8)
+            freq
+        in
+        print_string
+          (Encoding.Decoder_gen.huffman_tables
+             ~module_name:(bench ^ "_" ^ kind ^ "_dict")
+             book)
+    | other ->
+        Printf.eprintf "unknown decoder kind %S\n" other;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "decoder" ~doc:"Emit the Verilog decoder for a workload")
+    Term.(const run $ bench_arg $ kind_arg)
+
+let trace_cmd =
+  let path_arg =
+    let doc = "Output path for the trace file." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PATH" ~doc)
+  in
+  let run bench path =
+    let r = Cccs.Workload_run.load (find_workload bench) in
+    let t = r.Cccs.Workload_run.exec.Emulator.Exec.trace in
+    Emulator.Trace.save t path;
+    Printf.printf "wrote %d block visits (%d ops) to %s\n"
+      (Emulator.Trace.length t) (Emulator.Trace.total_ops t) path
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Execute a workload and save its block-address trace to a file")
+    Term.(const run $ bench_arg $ path_arg)
+
+let verify_cmd =
+  let run bench =
+    let r = Cccs.Workload_run.load (find_workload bench) in
+    let c = r.Cccs.Workload_run.compiled in
+    let prog = c.Cccs.Pipeline.program in
+    let res = r.Cccs.Workload_run.exec in
+    let ref_res =
+      Emulator.Ref_interp.run ~max_blocks:3_000_000 c.Cccs.Pipeline.alloc_cfg
+    in
+    let mem_ok =
+      Emulator.Ref_interp.mem_checksum ref_res
+      = Emulator.Machine.mem_checksum res.Emulator.Exec.machine
+    in
+    let trace_ok =
+      Emulator.Trace.to_array res.Emulator.Exec.trace
+      = Emulator.Trace.to_array ref_res.Emulator.Ref_interp.trace
+    in
+    let s = Cccs.Experiments.schemes_of r in
+    List.iter
+      (fun (sc : Encoding.Scheme.t) ->
+        Encoding.Scheme.verify sc prog;
+        Printf.printf "scheme %-10s decode-back OK\n" sc.Encoding.Scheme.name)
+      ([ s.Cccs.Experiments.base; s.Cccs.Experiments.byte ]
+      @ List.map snd s.Cccs.Experiments.streams
+      @ [
+          s.Cccs.Experiments.full;
+          s.Cccs.Experiments.tailored;
+          s.Cccs.Experiments.dict;
+        ]);
+    Printf.printf "differential memory  %s\n" (if mem_ok then "OK" else "MISMATCH");
+    Printf.printf "differential trace   %s\n" (if trace_ok then "OK" else "MISMATCH");
+    if not (mem_ok && trace_ok) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Differentially verify one workload (scheduled vs sequential \
+          semantics) and decode-check every scheme")
+    Term.(const run $ bench_arg)
+
+let disasm_cmd =
+  let run bench =
+    let r = Cccs.Workload_run.load (find_workload bench) in
+    print_string
+      (Tepic.Asm.print_program r.Cccs.Workload_run.compiled.Cccs.Pipeline.program)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Print a workload's scheduled TEPIC assembly")
+    Term.(const run $ bench_arg)
+
+let export_cmd =
+  let run () =
+    (* CSV on stdout: one section per figure, ready for any plotting tool. *)
+    let rows5 = Cccs.Experiments.fig5 () in
+    print_endline "# fig5: bench,scheme,ratio";
+    List.iter
+      (fun (r : Cccs.Experiments.fig5_row) ->
+        List.iter
+          (fun (scheme, v) -> Printf.printf "fig5,%s,%s,%.6f\n" r.bench scheme v)
+          r.ratios)
+      rows5;
+    print_endline "# fig13: bench,model,ipc,cycles,l1_misses,mispredicts";
+    List.iter
+      (fun (r : Cccs.Experiments.fig13_row) ->
+        List.iter
+          (fun (res : Fetch.Sim.result) ->
+            Printf.printf "fig13,%s,%s,%.6f,%d,%d,%d\n" r.bench
+              res.Fetch.Sim.model res.Fetch.Sim.ipc res.Fetch.Sim.cycles
+              res.Fetch.Sim.l1_misses res.Fetch.Sim.mispredicts)
+          [ r.ideal; r.base; r.compressed; r.tailored ])
+      (Cccs.Experiments.fig13 ());
+    print_endline "# fig14: bench,model,bus_flips";
+    List.iter
+      (fun (r : Cccs.Experiments.fig14_row) ->
+        List.iter
+          (fun (m, f) -> Printf.printf "fig14,%s,%s,%d\n" r.bench m f)
+          r.flips)
+      (Cccs.Experiments.fig14 ())
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Dump figure data as CSV for external plotting")
+    Term.(const run $ const ())
+
+let fig_cmd name doc render =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (fun () -> render Format.std_formatter) $ const ())
+
+let default =
+  Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let cmds =
+    [
+      list_cmd;
+      compile_cmd;
+      compress_cmd;
+      simulate_cmd;
+      decoder_cmd;
+      trace_cmd;
+      verify_cmd;
+      disasm_cmd;
+      export_cmd;
+      fig_cmd "fig5" "Reproduce Figure 5 (compression ratios)" (fun ppf ->
+          Cccs.Report.fig5 ppf (Cccs.Experiments.fig5 ()));
+      fig_cmd "fig7" "Reproduce Figure 7 (total size with ATT)" (fun ppf ->
+          Cccs.Report.fig7 ppf (Cccs.Experiments.fig7 ()));
+      fig_cmd "fig10" "Reproduce Figure 10 (decoder complexity)" (fun ppf ->
+          Cccs.Report.fig10 ppf (Cccs.Experiments.fig10 ()));
+      fig_cmd "fig13" "Reproduce Figure 13 (IPC cache study)" (fun ppf ->
+          Cccs.Report.fig13 ppf (Cccs.Experiments.fig13 ()));
+      fig_cmd "fig14" "Reproduce Figure 14 (bus bit flips)" (fun ppf ->
+          Cccs.Report.fig14 ppf (Cccs.Experiments.fig14 ()));
+      fig_cmd "ablation" "Hit-time vs miss-time decompression" (fun ppf ->
+          Cccs.Report.ablation ppf (Cccs.Experiments.ablation ()));
+      fig_cmd "predictors" "2-bit vs gshare prediction (extension)" (fun ppf ->
+          Cccs.Report.predictors ppf (Cccs.Experiments.predictors ()));
+      fig_cmd "superblocks" "Superblock fetch units (extension)" (fun ppf ->
+          Cccs.Report.superblocks ppf (Cccs.Experiments.superblocks ()));
+      fig_cmd "all" "Reproduce every figure and extension" (fun ppf ->
+          Cccs.Report.all ppf ());
+    ]
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "cccs" ~version:"1.0.0"
+             ~doc:
+               "Compiler-driven cached code compression for embedded ILP \
+                processors (MICRO-32 reproduction)")
+          cmds))

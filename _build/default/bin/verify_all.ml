@@ -1,0 +1,69 @@
+(* verify_all — end-to-end verification sweep over every workload.
+
+   For each workload: compile, execute, differentially check the scheduled
+   VLIW program against the sequential reference interpreter (identical
+   memory, identical control-flow trace), and check that every encoding
+   scheme decodes the ROM back to the identical program.
+
+   This is the long-form version of what `dune runtest` samples; CI or a
+   release check can run it directly:  dune exec bin/verify_all.exe *)
+
+let check_workload (e : Workloads.Suite.entry) =
+  let t0 = Unix.gettimeofday () in
+  let r = Cccs.Workload_run.load e in
+  let c = r.Cccs.Workload_run.compiled in
+  let prog = c.Cccs.Pipeline.program in
+  let res = r.Cccs.Workload_run.exec in
+  let ref_res =
+    Emulator.Ref_interp.run ~max_blocks:3_000_000 c.Cccs.Pipeline.alloc_cfg
+  in
+  let mem_ok =
+    Emulator.Ref_interp.mem_checksum ref_res
+    = Emulator.Machine.mem_checksum res.Emulator.Exec.machine
+  in
+  let trace_ok =
+    Emulator.Trace.to_array res.Emulator.Exec.trace
+    = Emulator.Trace.to_array ref_res.Emulator.Ref_interp.trace
+  in
+  let schemes_ok =
+    try
+      List.iter
+        (fun build -> Encoding.Scheme.verify (build prog) prog)
+        [
+          Encoding.Baseline.build;
+          Encoding.Byte_huffman.build;
+          Encoding.Full_huffman.build;
+          Encoding.Tailored.build;
+          Encoding.Dictionary.build;
+          (fun p -> Encoding.Stream_huffman.build p);
+        ];
+      true
+    with Failure _ -> false
+  in
+  let ok = mem_ok && trace_ok && schemes_ok in
+  Printf.printf
+    "%-12s blocks=%5d ops=%6d ilp=%4.2f hoist=%4d | dyn_ops=%8d visits=%7d \
+     %s | mem %s trace %s schemes %s | %.2fs\n%!"
+    r.Cccs.Workload_run.name
+    (Tepic.Program.num_blocks prog)
+    (Tepic.Program.num_ops prog)
+    c.Cccs.Pipeline.ilp c.Cccs.Pipeline.hoisted
+    (Emulator.Trace.total_ops res.Emulator.Exec.trace)
+    (Emulator.Trace.length res.Emulator.Exec.trace)
+    (match res.Emulator.Exec.stop with
+    | Emulator.Exec.Fell_through -> "end"
+    | Emulator.Exec.Halted -> "halt"
+    | Emulator.Exec.Budget_exhausted -> "BUDGET")
+    (if mem_ok then "OK" else "MISMATCH")
+    (if trace_ok then "OK" else "MISMATCH")
+    (if schemes_ok then "OK" else "MISMATCH")
+    (Unix.gettimeofday () -. t0);
+  ok
+
+let () =
+  let ok = List.for_all Fun.id (List.map check_workload Workloads.Suite.all) in
+  if ok then print_endline "verify_all: all workloads verified"
+  else begin
+    print_endline "verify_all: FAILURES";
+    exit 1
+  end

@@ -1,0 +1,1 @@
+examples/custom_isa.ml: Array Cccs Encoding List Printf String Tepic Workloads

@@ -1,0 +1,1 @@
+examples/design_space.ml: Cccs Emulator Encoding Fetch List Printf Tepic Workloads

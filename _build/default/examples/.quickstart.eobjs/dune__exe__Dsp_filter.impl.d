@@ -1,0 +1,1 @@
+examples/dsp_filter.ml: Cccs Emulator Encoding Fetch Lazy List Printf Workloads

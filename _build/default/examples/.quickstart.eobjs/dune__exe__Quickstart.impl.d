@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cccs Emulator Encoding Fetch Format List Printf Tepic Workloads

@@ -1,0 +1,54 @@
+(* Design-space exploration: cache capacity vs encoding scheme.
+
+   The paper evaluates one point (16 KB 2-way, 20 KB for the baseline).
+   This example sweeps the ICache size for one large benchmark and shows
+   where each fetch organization pays off: compressed caches move the
+   capacity wall ~3x to the left, tailored ~1.5x.
+
+   Run with:  dune exec examples/design_space.exe *)
+
+let () =
+  (* A scaled-down gcc so the sweep stays fast. *)
+  let profile =
+    Workloads.Profile.scale ~factor:0.6
+      { Workloads.Spec.gcc with Workloads.Profile.dyn_ops_target = 400_000 }
+  in
+  let w = Workloads.Gen.generate (Cccs.Workload_run.calibrate profile) in
+  let compiled = Cccs.Pipeline.compile w in
+  let program = compiled.Cccs.Pipeline.program in
+  let trace =
+    (Emulator.Exec.run ~max_blocks:2_000_000 program).Emulator.Exec.trace
+  in
+  Printf.printf
+    "design space: %s (%d static ops, %d executed) — IPC vs cache size\n\n"
+    program.Tepic.Program.name
+    (Tepic.Program.num_ops program)
+    (Emulator.Trace.total_ops trace);
+
+  let base = Encoding.Baseline.build program in
+  let full = Encoding.Full_huffman.build program in
+  let tailored = Encoding.Tailored.build program in
+  Printf.printf "%8s %8s %12s %10s\n" "KB" "base" "compressed" "tailored";
+  List.iter
+    (fun kb ->
+      let cfg =
+        { Fetch.Config.default with Fetch.Config.cache_bytes = kb * 1024 }
+      in
+      let att s =
+        Encoding.Att.build s ~line_bits:cfg.Fetch.Config.line_bits program
+      in
+      let run model s =
+        (Fetch.Sim.run ~model ~cfg ~scheme:s ~att:(att s) trace).Fetch.Sim.ipc
+      in
+      Printf.printf "%8d %8.3f %12.3f %10.3f\n" kb
+        (run Fetch.Config.Base base)
+        (run Fetch.Config.Compressed full)
+        (run Fetch.Config.Tailored tailored))
+    [ 2; 4; 8; 12; 16; 24; 32; 48; 64 ];
+
+  Printf.printf
+    "\nReading the table: the compressed organization reaches its knee at\n\
+     roughly a third of the capacity the baseline needs (its cache holds\n\
+     ~3x more ops), at the price of a slightly lower plateau (the\n\
+     decompressor's extra misprediction penalty) — the paper's Figure 13\n\
+     trade-off, generalized over capacity.\n"

@@ -1,0 +1,73 @@
+(* DSP kernels and the L0 decompression buffer (paper §4).
+
+   The paper claims that "tight, frequently executed loops (like DSP
+   kernels) fit into the buffer completely, which will result in
+   equivalent performance to an uncompressed cache".  This example runs
+   the three hand-written kernels under the compressed fetch model and
+   shows the L0 hit rates and the resulting IPC next to the uncompressed
+   baseline and the ideal bound.
+
+   Run with:  dune exec examples/dsp_filter.exe *)
+
+let run_kernel name (w : Workloads.Gen.result) =
+  let compiled = Cccs.Pipeline.compile w in
+  let program = compiled.Cccs.Pipeline.program in
+  let trace = (Emulator.Exec.run program).Emulator.Exec.trace in
+  let cfg = Fetch.Config.default in
+  let att s = Encoding.Att.build s ~line_bits:cfg.Fetch.Config.line_bits program in
+  let base = Encoding.Baseline.build program in
+  let full = Encoding.Full_huffman.build program in
+  let ideal = Fetch.Sim.run_ideal ~att:(att base) trace in
+  let base_r =
+    Fetch.Sim.run ~model:Fetch.Config.Base ~cfg:Fetch.Config.default_base
+      ~scheme:base ~att:(att base) trace
+  in
+  let comp =
+    Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:full
+      ~att:(att full) trace
+  in
+  let l0_rate =
+    float_of_int comp.Fetch.Sim.l0_hits
+    /. float_of_int (max 1 comp.Fetch.Sim.block_visits)
+  in
+  Printf.printf "%-12s ideal %5.3f | base %5.3f | compressed %5.3f  (L0 hit rate %.1f%%)\n"
+    name ideal.Fetch.Sim.ipc base_r.Fetch.Sim.ipc comp.Fetch.Sim.ipc
+    (100. *. l0_rate);
+  (name, comp.Fetch.Sim.ipc /. base_r.Fetch.Sim.ipc)
+
+let () =
+  Printf.printf
+    "DSP kernels under the compressed-encoding ICache (paper section 4):\n\n";
+  let ratios =
+    List.map
+      (fun (name, k) -> run_kernel name (Lazy.force k))
+      Workloads.Kernels.all
+  in
+  Printf.printf
+    "\nOn kernels the whole loop lives in the 32-op L0 buffer, so the\n\
+     compressed cache delivers uncompressed-cache performance while the ROM\n\
+     shrinks to ~30%%:\n\n";
+  List.iter
+    (fun (name, r) ->
+      Printf.printf "  %-12s compressed/base IPC = %.3f\n" name r)
+    ratios;
+
+  (* Sensitivity: shrink the buffer and watch the kernels fall off it. *)
+  Printf.printf "\nL0 buffer size sweep (fir kernel, compressed model):\n\n";
+  let w = Workloads.Kernels.fir ~taps:16 ~samples:256 in
+  let compiled = Cccs.Pipeline.compile w in
+  let program = compiled.Cccs.Pipeline.program in
+  let trace = (Emulator.Exec.run program).Emulator.Exec.trace in
+  let full = Encoding.Full_huffman.build program in
+  List.iter
+    (fun l0_ops ->
+      let cfg = { Fetch.Config.default with Fetch.Config.l0_ops } in
+      let att =
+        Encoding.Att.build full ~line_bits:cfg.Fetch.Config.line_bits program
+      in
+      let r =
+        Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:full ~att trace
+      in
+      Printf.printf "  l0 = %3d ops: ipc %5.3f, l0 hits %6d / %6d visits\n"
+        l0_ops r.Fetch.Sim.ipc r.Fetch.Sim.l0_hits r.Fetch.Sim.block_visits)
+    [ 4; 8; 16; 32; 64 ]

@@ -1,0 +1,68 @@
+(* Quickstart: the whole library in ~40 effective lines.
+
+   Build a workload, compile it with the VLIW back end, compress it four
+   ways, check every ROM image decodes back to the identical program, then
+   replay the execution trace through the paper's fetch models.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A workload: the FIR kernel (or pick any Workloads.Spec profile). *)
+  let workload = Workloads.Kernels.fir ~taps:16 ~samples:256 in
+
+  (* 2. Compile: register allocation, treegion scheduling, layout. *)
+  let compiled = Cccs.Pipeline.compile workload in
+  let program = compiled.Cccs.Pipeline.program in
+  Printf.printf "compiled %s: %d blocks, %d ops, %d MOPs (ILP %.2f)\n\n"
+    program.Tepic.Program.name
+    (Tepic.Program.num_blocks program)
+    (Tepic.Program.num_ops program)
+    (Tepic.Program.num_mops program)
+    compiled.Cccs.Pipeline.ilp;
+
+  (* 3. Encode the ROM four ways. *)
+  let schemes =
+    [
+      Encoding.Baseline.build program;
+      Encoding.Byte_huffman.build program;
+      Encoding.Stream_huffman.build program;
+      Encoding.Full_huffman.build program;
+      Encoding.Tailored.build program;
+    ]
+  in
+  let base_bits = (List.hd schemes).Encoding.Scheme.code_bits in
+  Printf.printf "%-10s %10s %8s %12s\n" "scheme" "code bits" "ratio"
+    "decoder (T)";
+  List.iter
+    (fun s ->
+      (* Every scheme must reproduce the program exactly. *)
+      Encoding.Scheme.verify s program;
+      Printf.printf "%-10s %10d %8.3f %12d\n" s.Encoding.Scheme.name
+        s.Encoding.Scheme.code_bits
+        (Encoding.Scheme.ratio s ~baseline_bits:base_bits)
+        s.Encoding.Scheme.decoder.Encoding.Scheme.transistors)
+    schemes;
+
+  (* 4. Execute and replay the trace through the fetch models. *)
+  let trace = (Emulator.Exec.run program).Emulator.Exec.trace in
+  Printf.printf "\nexecuted %d ops over %d block visits\n\n"
+    (Emulator.Trace.total_ops trace)
+    (Emulator.Trace.length trace);
+  let cfg = Fetch.Config.default in
+  let sim model scheme =
+    let att = Encoding.Att.build scheme ~line_bits:cfg.Fetch.Config.line_bits program in
+    Fetch.Sim.run ~model ~cfg ~scheme ~att trace
+  in
+  let base = List.hd schemes in
+  let full = List.nth schemes 3 in
+  let tailored = List.nth schemes 4 in
+  List.iter
+    (fun r -> Format.printf "%a@." Fetch.Sim.pp r)
+    [
+      Fetch.Sim.run_ideal
+        ~att:(Encoding.Att.build base ~line_bits:cfg.Fetch.Config.line_bits program)
+        trace;
+      sim Fetch.Config.Base base;
+      sim Fetch.Config.Compressed full;
+      sim Fetch.Config.Tailored tailored;
+    ]

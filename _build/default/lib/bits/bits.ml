@@ -1,0 +1,97 @@
+module Writer = struct
+  type t = {
+    mutable bytes : Bytes.t;
+    mutable nbits : int;
+  }
+
+  let create ?(initial_bytes = 64) () =
+    { bytes = Bytes.make (max 1 initial_bytes) '\000'; nbits = 0 }
+
+  let length w = w.nbits
+
+  let ensure w extra_bits =
+    let needed = (w.nbits + extra_bits + 7) / 8 in
+    let cap = Bytes.length w.bytes in
+    if needed > cap then begin
+      let cap' = max needed (2 * cap) in
+      let b = Bytes.make cap' '\000' in
+      Bytes.blit w.bytes 0 b 0 cap;
+      w.bytes <- b
+    end
+
+  let add_bit w b =
+    ensure w 1;
+    if b then begin
+      let byte = w.nbits lsr 3 and off = w.nbits land 7 in
+      let v = Char.code (Bytes.get w.bytes byte) in
+      Bytes.set w.bytes byte (Char.chr (v lor (0x80 lsr off)))
+    end;
+    w.nbits <- w.nbits + 1
+
+  let add_bits w ~width v =
+    if width < 0 || width > 62 then
+      invalid_arg "Bits.Writer.add_bits: width out of range";
+    if v < 0 || (width < 62 && v lsr width <> 0) then
+      invalid_arg "Bits.Writer.add_bits: value does not fit width";
+    for i = width - 1 downto 0 do
+      add_bit w ((v lsr i) land 1 = 1)
+    done
+
+  let add_string w s =
+    String.iter (fun c -> add_bits w ~width:8 (Char.code c)) s
+
+  let align_byte w =
+    let pad = (8 - (w.nbits land 7)) land 7 in
+    for _ = 1 to pad do
+      add_bit w false
+    done;
+    pad
+
+  let contents w = Bytes.sub_string w.bytes 0 ((w.nbits + 7) / 8)
+end
+
+module Reader = struct
+  type t = {
+    data : string;
+    nbits : int;
+    mutable cursor : int;
+  }
+
+  let of_string s = { data = s; nbits = 8 * String.length s; cursor = 0 }
+  let pos r = r.cursor
+  let length r = r.nbits
+  let remaining r = r.nbits - r.cursor
+
+  let seek r bit =
+    if bit < 0 || bit > r.nbits then invalid_arg "Bits.Reader.seek";
+    r.cursor <- bit
+
+  let read_bit r =
+    if r.cursor >= r.nbits then invalid_arg "Bits.Reader.read_bit: exhausted";
+    let byte = r.cursor lsr 3 and off = r.cursor land 7 in
+    r.cursor <- r.cursor + 1;
+    Char.code r.data.[byte] land (0x80 lsr off) <> 0
+
+  let read_bits r ~width =
+    if width < 0 || width > 62 then
+      invalid_arg "Bits.Reader.read_bits: width out of range";
+    let v = ref 0 in
+    for _ = 1 to width do
+      v := (!v lsl 1) lor (if read_bit r then 1 else 0)
+    done;
+    !v
+end
+
+let popcount v =
+  if v < 0 then invalid_arg "Bits.popcount: negative";
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go v 0
+
+let bits_needed n =
+  if n <= 0 then 0
+  else if n = 1 then 1
+  else
+    let rec go w = if 1 lsl w >= n then w else go (w + 1) in
+    go 1
+
+let flips_between a b = popcount (a lxor b)

@@ -1,0 +1,73 @@
+(** Bit-level buffers used throughout the compression pipeline.
+
+    All multi-bit fields are written and read MSB-first, matching the byte
+    layout a ROM programmer would use.  A {!Writer.t} is a growable bit
+    buffer; a {!Reader.t} is a cursor over an immutable bitstring.  Positions
+    are expressed in bits from the start of the buffer. *)
+
+module Writer : sig
+  type t
+
+  val create : ?initial_bytes:int -> unit -> t
+
+  (** [length w] is the number of bits written so far. *)
+  val length : t -> int
+
+  (** [add_bit w b] appends a single bit. *)
+  val add_bit : t -> bool -> unit
+
+  (** [add_bits w ~width v] appends the [width] low bits of [v], MSB first.
+      Raises [Invalid_argument] if [width < 0], [width > 62] or [v] does not
+      fit in [width] bits. *)
+  val add_bits : t -> width:int -> int -> unit
+
+  (** [add_string w s] appends every bit of the byte string [s]. *)
+  val add_string : t -> string -> unit
+
+  (** [align_byte w] pads with zero bits to the next byte boundary and
+      returns the number of padding bits added. *)
+  val align_byte : t -> int
+
+  (** [contents w] freezes the buffer into a byte string, zero-padding the
+      final partial byte. *)
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  (** [of_string s] reads from the full byte string [s]. *)
+  val of_string : string -> t
+
+  (** [pos r] is the current bit offset. *)
+  val pos : t -> int
+
+  (** [length r] is the total number of bits available. *)
+  val length : t -> int
+
+  (** [remaining r] is [length r - pos r]. *)
+  val remaining : t -> int
+
+  (** [seek r bit] repositions the cursor.  Raises [Invalid_argument] when
+      out of range. *)
+  val seek : t -> int -> unit
+
+  (** [read_bit r] consumes one bit.  Raises [Invalid_argument] at end of
+      stream. *)
+  val read_bit : t -> bool
+
+  (** [read_bits r ~width] consumes [width] bits, MSB first. *)
+  val read_bits : t -> width:int -> int
+end
+
+(** [popcount v] is the number of set bits in [v] (which must be
+    non-negative). *)
+val popcount : int -> int
+
+(** [bits_needed n] is the minimum field width able to represent every value
+    in [0, n-1]; by convention [bits_needed 0 = 0] and [bits_needed 1 = 1]. *)
+val bits_needed : int -> int
+
+(** [flips_between a b] is the Hamming distance between two ints, the model
+    used for memory-bus transition counting. *)
+val flips_between : int -> int -> int

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Emulator Encoding Fetch Hashtbl List Pipeline Workload_run

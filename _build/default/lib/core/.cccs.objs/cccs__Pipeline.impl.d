@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Emulator Hashtbl Option Tepic Vliw_compiler Workloads

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Tepic Vliw_compiler Workloads

@@ -1,0 +1,1 @@
+lib/core/report.ml: Encoding Experiments Fetch Format List String

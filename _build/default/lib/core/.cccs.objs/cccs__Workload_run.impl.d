@@ -1,0 +1,1 @@
+lib/core/workload_run.ml: Emulator Hashtbl List Pipeline Workloads

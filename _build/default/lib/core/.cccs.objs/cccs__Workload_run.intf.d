@@ -1,0 +1,1 @@
+lib/core/workload_run.mli: Emulator Pipeline Workloads

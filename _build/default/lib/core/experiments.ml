@@ -1,0 +1,296 @@
+type schemes = {
+  base : Encoding.Scheme.t;
+  byte : Encoding.Scheme.t;
+  streams : (string * Encoding.Scheme.t) list;
+  full : Encoding.Scheme.t;
+  tailored : Encoding.Scheme.t;
+  tailored_spec : Encoding.Tailored.spec;
+  dict : Encoding.Scheme.t;
+}
+
+let scheme_cache : (string, schemes) Hashtbl.t = Hashtbl.create 17
+
+let schemes_of (r : Workload_run.run) =
+  match Hashtbl.find_opt scheme_cache r.Workload_run.name with
+  | Some s -> s
+  | None ->
+      let prog = r.Workload_run.compiled.Pipeline.program in
+      let tailored, tailored_spec = Encoding.Tailored.build_with_spec prog in
+      let s =
+        {
+          base = Encoding.Baseline.build prog;
+          byte = Encoding.Byte_huffman.build prog;
+          streams =
+            List.map
+              (fun (name, c) -> (name, Encoding.Stream_huffman.build ~config:c prog))
+              Encoding.Stream_huffman.configs;
+          full = Encoding.Full_huffman.build prog;
+          tailored;
+          tailored_spec;
+          dict = Encoding.Dictionary.build prog;
+        }
+      in
+      Hashtbl.replace scheme_cache r.Workload_run.name s;
+      s
+
+let all_schemes s =
+  [ ("base", s.base); ("byte", s.byte) ]
+  @ s.streams
+  @ [ ("full", s.full); ("tailored", s.tailored) ]
+
+(* ------------------------------------------------------------------ *)
+
+type fig5_row = {
+  bench : string;
+  ratios : (string * float) list;
+}
+
+let fig5 () =
+  List.map
+    (fun r ->
+      let s = schemes_of r in
+      let baseline_bits = s.base.Encoding.Scheme.code_bits in
+      {
+        bench = r.Workload_run.name;
+        ratios =
+          List.map
+            (fun (name, sc) ->
+              (name, Encoding.Scheme.ratio sc ~baseline_bits))
+            (all_schemes s);
+      })
+    (Workload_run.load_spec ())
+
+(* ------------------------------------------------------------------ *)
+
+type fig7_row = {
+  bench : string;
+  base_bits : int;
+  schemes_total : (string * int * float) list;
+  atb_miss_rate : float;
+}
+
+let fig7 () =
+  List.map
+    (fun r ->
+      let s = schemes_of r in
+      let prog = r.Workload_run.compiled.Pipeline.program in
+      let cfg = Fetch.Config.default in
+      let totals =
+        List.map
+          (fun (name, sc) ->
+            let att =
+              Encoding.Att.build sc ~line_bits:cfg.Fetch.Config.line_bits prog
+            in
+            let total =
+              sc.Encoding.Scheme.code_bits + sc.Encoding.Scheme.table_bits
+              + att.Encoding.Att.compressed_bits
+            in
+            ( name,
+              total,
+              Encoding.Att.overhead att ~code_bits:sc.Encoding.Scheme.code_bits ))
+          (all_schemes s)
+      in
+      let att_full =
+        Encoding.Att.build s.full ~line_bits:cfg.Fetch.Config.line_bits prog
+      in
+      let sim =
+        Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:s.full
+          ~att:att_full r.Workload_run.exec.Emulator.Exec.trace
+      in
+      {
+        bench = r.Workload_run.name;
+        base_bits = s.base.Encoding.Scheme.code_bits;
+        schemes_total = totals;
+        atb_miss_rate =
+          float_of_int sim.Fetch.Sim.atb_misses
+          /. float_of_int (max 1 sim.Fetch.Sim.block_visits);
+      })
+    (Workload_run.load_spec ())
+
+(* ------------------------------------------------------------------ *)
+
+type fig10_row = {
+  bench : string;
+  decoders : (string * Encoding.Scheme.decoder_info) list;
+}
+
+let fig10 () =
+  List.map
+    (fun r ->
+      let s = schemes_of r in
+      {
+        bench = r.Workload_run.name;
+        decoders =
+          List.filter_map
+            (fun (name, sc) ->
+              if name = "base" then None
+              else Some (name, sc.Encoding.Scheme.decoder))
+            (all_schemes s);
+      })
+    (Workload_run.load_spec ())
+
+(* ------------------------------------------------------------------ *)
+
+type fig13_row = {
+  bench : string;
+  ideal : Fetch.Sim.result;
+  base : Fetch.Sim.result;
+  compressed : Fetch.Sim.result;
+  tailored : Fetch.Sim.result;
+}
+
+let fig13_cache : (string, fig13_row) Hashtbl.t = Hashtbl.create 17
+
+let fig13_for (r : Workload_run.run) =
+  match Hashtbl.find_opt fig13_cache r.Workload_run.name with
+  | Some row -> row
+  | None ->
+      let s = schemes_of r in
+      let prog = r.Workload_run.compiled.Pipeline.program in
+      let trace = r.Workload_run.exec.Emulator.Exec.trace in
+      let cfg = Fetch.Config.default in
+      let cfg_base = Fetch.Config.default_base in
+      let att sc c =
+        Encoding.Att.build sc ~line_bits:c.Fetch.Config.line_bits prog
+      in
+      let att_base = att s.base cfg_base in
+      let row =
+        {
+          bench = r.Workload_run.name;
+          ideal = Fetch.Sim.run_ideal ~att:att_base trace;
+          base =
+            Fetch.Sim.run ~model:Fetch.Config.Base ~cfg:cfg_base ~scheme:s.base
+              ~att:att_base trace;
+          compressed =
+            Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:s.full
+              ~att:(att s.full cfg) trace;
+          tailored =
+            Fetch.Sim.run ~model:Fetch.Config.Tailored ~cfg ~scheme:s.tailored
+              ~att:(att s.tailored cfg) trace;
+        }
+      in
+      Hashtbl.replace fig13_cache r.Workload_run.name row;
+      row
+
+let fig13 () = List.map fig13_for (Workload_run.load_spec ())
+
+(* ------------------------------------------------------------------ *)
+
+type fig14_row = {
+  bench : string;
+  flips : (string * int) list;
+}
+
+let fig14 () =
+  List.map
+    (fun r ->
+      let row = fig13_for r in
+      {
+        bench = row.bench;
+        flips =
+          [
+            ("base", row.base.Fetch.Sim.bus_flips);
+            ("compressed", row.compressed.Fetch.Sim.bus_flips);
+            ("tailored", row.tailored.Fetch.Sim.bus_flips);
+          ];
+      })
+    (Workload_run.load_spec ())
+
+type ablation_row = {
+  bench : string;
+  hit_time : Fetch.Sim.result;
+  miss_time : Fetch.Sim.result;
+}
+
+let ablation () =
+  List.map
+    (fun r ->
+      let s = schemes_of r in
+      let prog = r.Workload_run.compiled.Pipeline.program in
+      let trace = r.Workload_run.exec.Emulator.Exec.trace in
+      let cfg = Fetch.Config.default in
+      let comp_att =
+        Encoding.Att.build s.full ~line_bits:cfg.Fetch.Config.line_bits prog
+      in
+      {
+        bench = r.Workload_run.name;
+        hit_time =
+          Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:s.full
+            ~att:comp_att trace;
+        miss_time =
+          Fetch.Ablation.run ~cfg ~base_scheme:s.base ~comp_scheme:s.full
+            ~comp_att trace;
+      })
+    (Workload_run.load_spec ())
+
+type predictor_row = {
+  bench : string;
+  two_bit : Fetch.Sim.result;
+  gshare : Fetch.Sim.result;
+}
+
+let predictors () =
+  List.map
+    (fun r ->
+      let s = schemes_of r in
+      let prog = r.Workload_run.compiled.Pipeline.program in
+      let trace = r.Workload_run.exec.Emulator.Exec.trace in
+      let run cfg =
+        let att =
+          Encoding.Att.build s.full ~line_bits:cfg.Fetch.Config.line_bits prog
+        in
+        Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:s.full ~att
+          trace
+      in
+      {
+        bench = r.Workload_run.name;
+        two_bit = run Fetch.Config.default;
+        gshare =
+          run
+            {
+              Fetch.Config.default with
+              Fetch.Config.predictor = Fetch.Config.Gshare 12;
+            };
+      })
+    (Workload_run.load_spec ())
+
+type superblock_row = {
+  bench : string;
+  mean_unit_blocks : float;
+  bb_base : Fetch.Sim.result;
+  sb_base : Fetch.Sim.result;
+  bb_compressed : Fetch.Sim.result;
+  sb_compressed : Fetch.Sim.result;
+}
+
+let superblocks () =
+  List.map
+    (fun r ->
+      let s = schemes_of r in
+      let prog = r.Workload_run.compiled.Pipeline.program in
+      let trace = r.Workload_run.exec.Emulator.Exec.trace in
+      let units = Fetch.Superblock.form prog in
+      let _, mean_unit_blocks = Fetch.Superblock.stats units in
+      let cfg = Fetch.Config.default in
+      let cfg_base = Fetch.Config.default_base in
+      let att sc c =
+        Encoding.Att.build sc ~line_bits:c.Fetch.Config.line_bits prog
+      in
+      let row13 = fig13_for r in
+      {
+        bench = r.Workload_run.name;
+        mean_unit_blocks;
+        bb_base = row13.base;
+        sb_base =
+          Fetch.Superblock.run ~model:Fetch.Config.Base ~cfg:cfg_base
+            ~scheme:s.base ~att:(att s.base cfg_base) units trace;
+        bb_compressed = row13.compressed;
+        sb_compressed =
+          Fetch.Superblock.run ~model:Fetch.Config.Compressed ~cfg
+            ~scheme:s.full ~att:(att s.full cfg) units trace;
+      })
+    (Workload_run.load_spec ())
+
+let clear_cache () =
+  Hashtbl.reset scheme_cache;
+  Hashtbl.reset fig13_cache

@@ -1,0 +1,54 @@
+type compiled = {
+  program : Tepic.Program.t;
+  alloc_cfg : Vliw_compiler.Cfg.t;
+  ilp : float;
+  hoisted : int;
+  spill_slots : int;
+  max_live : (Tepic.Reg.cls * int) list;
+}
+
+let compile ?(speculate = true) ?(profile_guided = false)
+    (w : Workloads.Gen.result) =
+  let alloc =
+    Vliw_compiler.Regalloc.allocate ~allowed:Workloads.Gen.window
+      ~group_of_block:w.Workloads.Gen.group_of_block
+      ~precolored:w.Workloads.Gen.precolored
+      ~spill_base:w.Workloads.Gen.spill_base w.Workloads.Gen.cfg
+  in
+  let edge_profile =
+    if not profile_guided then None
+    else begin
+      (* A bounded profiling run over the allocated program collects edge
+         counts; speculation sites then favour their hottest successor. *)
+      let res =
+        Emulator.Ref_interp.run ~max_blocks:200_000
+          alloc.Vliw_compiler.Regalloc.cfg
+      in
+      let counts = Hashtbl.create 1024 in
+      let tr = res.Emulator.Ref_interp.trace in
+      for i = 0 to Emulator.Trace.length tr - 2 do
+        let key = (Emulator.Trace.get tr i, Emulator.Trace.get tr (i + 1)) in
+        Hashtbl.replace counts key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+      done;
+      Some
+        (fun parent child ->
+          Option.value ~default:0 (Hashtbl.find_opt counts (parent, child)))
+    end
+  in
+  let sched =
+    Vliw_compiler.Schedule.run ~speculate ?edge_profile
+      alloc.Vliw_compiler.Regalloc.cfg
+  in
+  let program = Vliw_compiler.Layout.build sched in
+  {
+    program;
+    alloc_cfg = alloc.Vliw_compiler.Regalloc.cfg;
+    ilp = Vliw_compiler.Schedule.ilp sched;
+    hoisted = sched.Vliw_compiler.Schedule.hoisted;
+    spill_slots = alloc.Vliw_compiler.Regalloc.spill_slots;
+    max_live = alloc.Vliw_compiler.Regalloc.max_live;
+  }
+
+let compile_profile ?speculate p =
+  compile ?speculate (Workloads.Gen.generate p)

@@ -1,0 +1,27 @@
+(** The compiler driver: workload package in, scheduled TEPIC program out.
+
+    Chains register allocation (per-group windows), treegion scheduling
+    with speculation, lowering and layout — the LEGO-compiler substitute's
+    back end in one call. *)
+
+type compiled = {
+  program : Tepic.Program.t;
+  alloc_cfg : Vliw_compiler.Cfg.t;
+      (** the register-allocated CFG, pre-scheduling — reference semantics *)
+  ilp : float;  (** achieved ops per issued cycle *)
+  hoisted : int;  (** ops speculated above branches *)
+  spill_slots : int;
+  max_live : (Tepic.Reg.cls * int) list;
+}
+
+(** [compile ?speculate ?profile_guided w] — full back end on a workload
+    package.  [speculate] defaults to true (treegion speculation on).
+    With [profile_guided:true] the driver first interprets the allocated
+    program (bounded) to collect edge counts, then lets each speculation
+    site pick its hottest successor — the profile feedback the paper's
+    compiler gets from its emulator. *)
+val compile :
+  ?speculate:bool -> ?profile_guided:bool -> Workloads.Gen.result -> compiled
+
+(** [compile_profile ?speculate p] — generate then compile. *)
+val compile_profile : ?speculate:bool -> Workloads.Profile.t -> compiled

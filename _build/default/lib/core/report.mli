@@ -1,0 +1,16 @@
+(** Text rendering of the experiment tables, shared by the bench harness
+    and the CLI.  Each function prints the paper-figure reproduction in the
+    row/series structure the paper reports. *)
+
+val fig5 : Format.formatter -> Experiments.fig5_row list -> unit
+val fig7 : Format.formatter -> Experiments.fig7_row list -> unit
+val fig10 : Format.formatter -> Experiments.fig10_row list -> unit
+val fig13 : Format.formatter -> Experiments.fig13_row list -> unit
+val fig14 : Format.formatter -> Experiments.fig14_row list -> unit
+
+val ablation : Format.formatter -> Experiments.ablation_row list -> unit
+val predictors : Format.formatter -> Experiments.predictor_row list -> unit
+val superblocks : Format.formatter -> Experiments.superblock_row list -> unit
+
+(** [all ppf ()] — run and print every experiment plus the ablation. *)
+val all : Format.formatter -> unit -> unit

@@ -1,0 +1,34 @@
+(** Calibrated workload execution.
+
+    SPEC-like profiles specify a {e dynamic} op budget
+    ([Profile.dyn_ops_target]); the nested loop and call structure makes
+    executed size hard to predict statically, so the driver probes each
+    program with a 4-iteration hot loop, measures executed ops per
+    iteration with the reference interpreter, and rescales the hot-loop
+    trip count before the real run.  Kernels run as written.
+
+    Results are memoized per process: every experiment reuses the same
+    compiled program and trace. *)
+
+type run = {
+  name : string;
+  kind : [ `Spec | `Kernel ];
+  compiled : Pipeline.compiled;
+  exec : Emulator.Exec.result;
+}
+
+(** [load entry] — generate (calibrated), compile, execute.  Memoized. *)
+val load : Workloads.Suite.entry -> run
+
+(** [load_spec ()] — the paper's eight-benchmark evaluation set. *)
+val load_spec : unit -> run list
+
+(** [load_all ()] — SPEC set plus kernels. *)
+val load_all : unit -> run list
+
+(** [calibrate p] — the rescaled profile actually run (exposed for tests
+    and the design-space example). *)
+val calibrate : Workloads.Profile.t -> Workloads.Profile.t
+
+(** [clear_cache ()] — drop memoized runs (tests). *)
+val clear_cache : unit -> unit

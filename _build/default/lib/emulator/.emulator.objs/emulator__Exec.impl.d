@@ -1,0 +1,1 @@
+lib/emulator/exec.ml: List Machine Tepic Trace

@@ -1,0 +1,1 @@
+lib/emulator/machine.ml: Array Hashtbl List Semantics Tepic

@@ -1,0 +1,1 @@
+lib/emulator/ref_interp.ml: Array Cfg Exec Hashtbl Ir List Option Semantics Tepic Trace Vliw_compiler

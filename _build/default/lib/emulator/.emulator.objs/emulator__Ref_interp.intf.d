@@ -1,0 +1,1 @@
+lib/emulator/ref_interp.mli: Exec Trace Vliw_compiler

@@ -1,0 +1,1 @@
+lib/emulator/semantics.ml: Float Tepic

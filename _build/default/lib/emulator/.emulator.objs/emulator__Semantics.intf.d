@@ -1,0 +1,1 @@
+lib/emulator/semantics.mli: Tepic

@@ -1,0 +1,1 @@
+lib/emulator/trace.ml: Array Fun Printf String

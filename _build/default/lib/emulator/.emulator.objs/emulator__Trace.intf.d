@@ -1,0 +1,1 @@
+lib/emulator/trace.mli:

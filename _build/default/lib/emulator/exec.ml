@@ -1,0 +1,43 @@
+type stop_reason = Fell_through | Halted | Budget_exhausted
+
+type result = {
+  trace : Trace.t;
+  machine : Machine.t;
+  stop : stop_reason;
+}
+
+let run ?(max_blocks = 2_000_000) ?(mem_size = 65536) program =
+  let machine = Machine.create ~mem_size () in
+  let trace = Trace.create () in
+  let n = Tepic.Program.num_blocks program in
+  let stop = ref None in
+  let pc = ref program.Tepic.Program.entry in
+  let visits = ref 0 in
+  while !stop = None do
+    if !visits >= max_blocks then stop := Some Budget_exhausted
+    else begin
+      incr visits;
+      let b = Tepic.Program.block program !pc in
+      Trace.add trace !pc;
+      Trace.record_ops trace
+        ~ops:(Tepic.Program.block_num_ops b)
+        ~mops:(Tepic.Program.block_num_mops b);
+      let control = ref Machine.Next in
+      List.iter
+        (fun mop ->
+          let c =
+            Machine.exec_mop machine ~block_id:!pc (Tepic.Mop.ops mop)
+          in
+          match c with Machine.Next -> () | c -> control := c)
+        b.Tepic.Program.mops;
+      match !control with
+      | Machine.Next ->
+          if !pc + 1 >= n then stop := Some Fell_through else incr pc
+      | Machine.Goto t | Machine.Call_to { target = t } -> pc := t
+      | Machine.Return_to t ->
+          if t >= n then stop := Some Fell_through else pc := t
+      | Machine.Halt -> stop := Some Halted
+    end
+  done;
+  let stop = match !stop with Some s -> s | None -> assert false in
+  { trace; machine; stop }

@@ -1,0 +1,19 @@
+(** Whole-program execution of scheduled TEPIC code — the YULA-emulator
+    substitute.  Produces the block-granularity instruction trace the cache
+    study replays. *)
+
+type stop_reason =
+  | Fell_through  (** control fell past the last block *)
+  | Halted  (** RET with a negative link value *)
+  | Budget_exhausted  (** [max_blocks] visits reached *)
+
+type result = {
+  trace : Trace.t;
+  machine : Machine.t;
+  stop : stop_reason;
+}
+
+(** [run ?max_blocks ?mem_size program] executes from the entry block.
+    [max_blocks] (default 2,000,000) bounds the number of block visits;
+    [mem_size] (default 65536 words) sizes data memory. *)
+val run : ?max_blocks:int -> ?mem_size:int -> Tepic.Program.t -> result

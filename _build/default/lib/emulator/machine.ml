@@ -1,0 +1,120 @@
+type t = {
+  gpr : int array;
+  fpr : float array;
+  pr : bool array;
+  mem : int array;
+  fmem : float array;
+}
+
+let create ~mem_size () =
+  if mem_size <= 0 then invalid_arg "Machine.create: mem_size";
+  let t =
+    {
+      gpr = Array.make Tepic.Reg.file_size 0;
+      fpr = Array.make Tepic.Reg.file_size 0.;
+      pr = Array.make Tepic.Reg.file_size false;
+      mem = Array.make mem_size 0;
+      fmem = Array.make mem_size 0.;
+    }
+  in
+  t.pr.(0) <- true;
+  t
+
+type control =
+  | Next
+  | Goto of int
+  | Call_to of { target : int }
+  | Return_to of int
+  | Halt
+
+type write =
+  | Wgpr of int * int
+  | Wfpr of int * float
+  | Wpr of int * bool
+  | Wmem of int * int
+  | Wfmem of int * float
+
+let exec_mop t ~block_id ops =
+  let size = Array.length t.mem in
+  let writes = ref [] in
+  let control = ref Next in
+  let push w = writes := w :: !writes in
+  let exec_op (op : Tepic.Op.t) =
+    if t.pr.(op.Tepic.Op.pred) then
+      match op.Tepic.Op.body with
+      | Tepic.Op.Alu { opcode; src1; src2; dest; _ } ->
+          push (Wgpr (dest, Semantics.alu opcode t.gpr.(src1) t.gpr.(src2)))
+      | Tepic.Op.Cmpp { opcode; src1; src2; dest; _ } ->
+          push (Wpr (dest, Semantics.cmpp opcode t.gpr.(src1) t.gpr.(src2)))
+      | Tepic.Op.Ldi { imm; dest; _ } -> push (Wgpr (dest, imm))
+      | Tepic.Op.Fpu { opcode = Tepic.Opcode.ITOF; src1; dest; _ } ->
+          push (Wfpr (dest, float_of_int t.gpr.(src1)))
+      | Tepic.Op.Fpu { opcode = Tepic.Opcode.FTOI; src1; dest; _ } ->
+          push (Wgpr (dest, Semantics.ftoi t.fpr.(src1)))
+      | Tepic.Op.Fpu { opcode; src1; src2; dest; _ } ->
+          push (Wfpr (dest, Semantics.fpu opcode t.fpr.(src1) t.fpr.(src2)))
+      | Tepic.Op.Load { src1; bhwx; tcs; dest; _ } ->
+          let idx = Semantics.mem_index ~size t.gpr.(src1) in
+          if tcs = 1 then push (Wfpr (dest, t.fmem.(idx)))
+          else push (Wgpr (dest, Semantics.narrow ~bhwx t.mem.(idx)))
+      | Tepic.Op.Store { src1; src2; tcs; _ } ->
+          let idx = Semantics.mem_index ~size t.gpr.(src1) in
+          if tcs = 1 then push (Wfmem (idx, t.fpr.(src2)))
+          else push (Wmem (idx, t.gpr.(src2)))
+      | Tepic.Op.Branch { opcode; src1; counter; target } -> (
+          match opcode with
+          | Tepic.Opcode.BR -> control := Goto target
+          | Tepic.Opcode.BRCT ->
+              (* Guard already known true here: BRCT is taken. *)
+              control := Goto target
+          | Tepic.Opcode.BRCF ->
+              (* BRCF branches only when its guard is false (handled in the
+                 disabled-op arm below). *)
+              ()
+          | Tepic.Opcode.BRLC ->
+              if t.gpr.(counter) > 0 then begin
+                push (Wgpr (counter, t.gpr.(counter) - 1));
+                control := Goto target
+              end
+          | Tepic.Opcode.BRL ->
+              push (Wgpr (src1, block_id + 1));
+              control := Call_to { target }
+          | Tepic.Opcode.RET ->
+              let link = t.gpr.(src1) in
+              control := if link < 0 then Halt else Return_to link
+          | _ -> assert false)
+    else
+      (* BRCF branches when the guard predicate is false. *)
+      match op.Tepic.Op.body with
+      | Tepic.Op.Branch { opcode = Tepic.Opcode.BRCF; target; _ } ->
+          control := Goto target
+      | _ -> ()
+  in
+  List.iter exec_op ops;
+  List.iter
+    (fun w ->
+      match w with
+      | Wgpr (i, v) -> t.gpr.(i) <- Semantics.wrap32 v
+      | Wfpr (i, v) -> t.fpr.(i) <- v
+      | Wpr (i, v) -> if i <> 0 then t.pr.(i) <- v
+      | Wmem (i, v) -> t.mem.(i) <- Semantics.wrap32 v
+      | Wfmem (i, v) -> t.fmem.(i) <- v)
+    (List.rev !writes);
+  !control
+
+let checksum t =
+  let h = ref 0x811C9DC5 in
+  let mix v = h := (!h lxor v) * 0x01000193 land max_int in
+  Array.iter mix t.gpr;
+  Array.iter (fun f -> mix (Hashtbl.hash f)) t.fpr;
+  Array.iter (fun b -> mix (if b then 1 else 2)) t.pr;
+  Array.iter mix t.mem;
+  Array.iter (fun f -> mix (Hashtbl.hash f)) t.fmem;
+  !h
+
+let mem_checksum t =
+  let h = ref 0x811C9DC5 in
+  let mix v = h := (!h lxor v) * 0x01000193 land max_int in
+  Array.iter mix t.mem;
+  Array.iter (fun f -> mix (Hashtbl.hash f)) t.fmem;
+  !h

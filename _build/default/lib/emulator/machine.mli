@@ -1,0 +1,40 @@
+(** Architectural state and MOP-level execution of TEPIC code.
+
+    Execution honours VLIW semantics: every op in a MOP reads the state as
+    it was at the start of the cycle, and all writes (including memory)
+    commit together at the end.  Predicated ops whose guard is false commit
+    nothing.  p0 is hard-wired true. *)
+
+type t = {
+  gpr : int array;
+  fpr : float array;
+  pr : bool array;
+  mem : int array;
+  fmem : float array;
+      (** floating-point view of data memory, addressed by memory ops whose
+          TCS field selects the FP register file *)
+}
+
+(** [create ~mem_size ()] — fresh machine, all state zero (p0 true). *)
+val create : mem_size:int -> unit -> t
+
+(** Control decision produced by the branch (if any) of a MOP. *)
+type control =
+  | Next  (** no branch, or branch not taken / guard false *)
+  | Goto of int  (** block id *)
+  | Call_to of { target : int }  (** link register committed by [exec_mop] *)
+  | Return_to of int
+  | Halt  (** RET with a negative link value *)
+
+(** [exec_mop t ~block_id ops] executes one MOP.  [block_id] is the id of
+    the executing block; the fall-through/return point recorded by BRL is
+    [block_id + 1].  Returns the control decision of the MOP's branch
+    (evaluated on pre-cycle state), [Next] when there is none. *)
+val exec_mop : t -> block_id:int -> Tepic.Op.t list -> control
+
+(** [checksum t] — order-sensitive hash of all architectural state, for
+    differential testing. *)
+val checksum : t -> int
+
+(** [mem_checksum t] — hash of memory contents only. *)
+val mem_checksum : t -> int

@@ -1,0 +1,25 @@
+(** Sequential reference interpreter over CFG-level IR.
+
+    Executes a {!Vliw_compiler.Cfg} in strict program order with the same
+    arithmetic, memory and control semantics as {!Machine}.  Running it on
+    the CFG before and after register allocation, and comparing memory
+    contents and the visited-block sequence against {!Exec} on the
+    scheduled program, gives an end-to-end differential test of the whole
+    compiler back end (allocation, scheduling, speculation, lowering,
+    layout). *)
+
+type result = {
+  trace : Trace.t;
+  mem : int array;
+  fmem : float array;
+  stop : Exec.stop_reason;
+}
+
+(** [run ?max_blocks ?mem_size cfg] — interpret from the entry block.
+    Virtual registers are unbounded; physical ones are just small ids. *)
+val run :
+  ?max_blocks:int -> ?mem_size:int -> Vliw_compiler.Cfg.t -> result
+
+(** [mem_checksum r] — FNV hash of final memory, comparable with
+    {!Machine.mem_checksum}. *)
+val mem_checksum : result -> int

@@ -1,0 +1,35 @@
+(** Pure operation semantics shared by the TEPIC machine emulator and the
+    IR reference interpreter.
+
+    Integer values are 32-bit two's complement, represented as OCaml ints in
+    [-2^31, 2^31).  Division by zero yields 0 (a defined result keeps
+    generated programs total).  Shift amounts use the low 5 bits of the
+    second operand. *)
+
+(** [wrap32 v] reduces to 32-bit two's complement. *)
+val wrap32 : int -> int
+
+(** [to_unsigned v] reads a wrapped value as unsigned (for LTU/GEU). *)
+val to_unsigned : int -> int
+
+(** [alu op a b] — integer ALU semantics.  [MOV]/[ABS] ignore [b].
+    Raises [Invalid_argument] for non-ALU opcodes. *)
+val alu : Tepic.Opcode.t -> int -> int -> int
+
+(** [cmpp op a b] — compare-to-predicate semantics. *)
+val cmpp : Tepic.Opcode.t -> int -> int -> bool
+
+(** [fpu op a b] — floating-point semantics over FPR values ([ITOF]/[FTOI]
+    are handled by the interpreters since they cross register files). *)
+val fpu : Tepic.Opcode.t -> float -> float -> float
+
+(** [ftoi f] — FTOI result: truncation wrapped to 32 bits ([nan] gives 0). *)
+val ftoi : float -> int
+
+(** [mem_index ~size addr] — normalize an address into a word index. *)
+val mem_index : size:int -> int -> int
+
+(** [narrow ~bhwx v] — apply the Byte/Half/Word/Double operand-width field
+    to a loaded value (sign-extending at the chosen width; doubles behave
+    as words in this 32-bit model). *)
+val narrow : bhwx:int -> int -> int

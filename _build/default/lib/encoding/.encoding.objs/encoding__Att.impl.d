@@ -1,0 +1,1 @@
+lib/encoding/att.ml: Array Bits Char Huffman Scheme String Tepic

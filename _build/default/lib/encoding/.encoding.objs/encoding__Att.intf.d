@@ -1,0 +1,1 @@
+lib/encoding/att.mli: Scheme Tepic

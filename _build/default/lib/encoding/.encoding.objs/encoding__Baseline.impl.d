@@ -1,0 +1,1 @@
+lib/encoding/baseline.ml: Array Bits List Scheme String Tepic

@@ -1,0 +1,1 @@
+lib/encoding/baseline.mli: Scheme Tepic

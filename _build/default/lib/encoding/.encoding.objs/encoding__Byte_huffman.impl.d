@@ -1,0 +1,1 @@
+lib/encoding/byte_huffman.ml: Array Bits Bytes Char Huffman Scheme String Tepic

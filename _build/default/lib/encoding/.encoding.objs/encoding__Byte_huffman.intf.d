@@ -1,0 +1,1 @@
+lib/encoding/byte_huffman.mli: Scheme Tepic

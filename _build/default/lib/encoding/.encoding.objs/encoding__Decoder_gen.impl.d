@@ -1,0 +1,1 @@
+lib/encoding/decoder_gen.ml: Array Buffer Huffman List Printf String Tailored Tepic

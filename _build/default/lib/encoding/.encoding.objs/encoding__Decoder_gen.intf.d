@@ -1,0 +1,1 @@
+lib/encoding/decoder_gen.mli: Huffman Tailored

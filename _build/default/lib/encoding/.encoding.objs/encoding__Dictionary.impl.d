@@ -1,0 +1,1 @@
+lib/encoding/dictionary.ml: Array Bits Hashtbl List Scheme String Tepic

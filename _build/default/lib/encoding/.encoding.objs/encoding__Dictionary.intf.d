@@ -1,0 +1,1 @@
+lib/encoding/dictionary.mli: Scheme Tepic

@@ -1,0 +1,1 @@
+lib/encoding/full_huffman.ml: Array Bits Huffman List Scheme String Tepic

@@ -1,0 +1,1 @@
+lib/encoding/full_huffman.mli: Scheme Tepic

@@ -1,0 +1,1 @@
+lib/encoding/scheme.ml: Array Bits List Printf Tepic

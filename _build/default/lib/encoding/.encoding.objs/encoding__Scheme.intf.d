@@ -1,0 +1,1 @@
+lib/encoding/scheme.mli: Bits Tepic

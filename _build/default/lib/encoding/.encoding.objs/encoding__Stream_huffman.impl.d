@@ -1,0 +1,1 @@
+lib/encoding/stream_huffman.ml: Array Bits Huffman List Scheme String Tepic

@@ -1,0 +1,1 @@
+lib/encoding/stream_huffman.mli: Scheme Tepic

@@ -1,0 +1,1 @@
+lib/encoding/tailored.ml: Array Bits Hashtbl List Scheme String Tepic

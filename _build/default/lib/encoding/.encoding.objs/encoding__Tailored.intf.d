@@ -1,0 +1,1 @@
+lib/encoding/tailored.mli: Hashtbl Scheme Tepic

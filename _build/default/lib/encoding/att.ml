@@ -1,0 +1,71 @@
+type entry = {
+  comp_addr : int;
+  lines : int;
+  mops : int;
+  ops : int;
+}
+
+type t = {
+  entries : entry array;
+  entry_bits : int;
+  raw_bits : int;
+  compressed_bits : int;
+}
+
+let build (scheme : Scheme.t) ~line_bits program =
+  if line_bits <= 0 then invalid_arg "Att.build: line_bits";
+  let n = Tepic.Program.num_blocks program in
+  let entries =
+    Array.init n (fun i ->
+        let b = Tepic.Program.block program i in
+        let offset = scheme.Scheme.block_offset_bits.(i) in
+        let bits = scheme.Scheme.block_bits.(i) in
+        (* Lines touched by [offset, offset+bits): blocks are byte-aligned
+           but not line-aligned, so a block may straddle lines. *)
+        let first_line = offset / line_bits in
+        let last_line = (offset + max 1 bits - 1) / line_bits in
+        {
+          comp_addr = offset / 8;
+          lines = last_line - first_line + 1;
+          mops = Tepic.Program.block_num_mops b;
+          ops = Tepic.Program.block_num_ops b;
+        })
+  in
+  let maxf f = Array.fold_left (fun a e -> max a (f e)) 0 entries in
+  let entry_bits =
+    Bits.bits_needed (maxf (fun e -> e.comp_addr) + 1)
+    + Bits.bits_needed (maxf (fun e -> e.lines) + 1)
+    + Bits.bits_needed (maxf (fun e -> e.mops) + 1)
+    + Bits.bits_needed (maxf (fun e -> e.ops) + 1)
+  in
+  let raw_bits = n * entry_bits in
+  (* ROM storage: serialize entries and byte-Huffman them, like the code. *)
+  let w = Bits.Writer.create ~initial_bytes:(n * 4) () in
+  let a_addr = Bits.bits_needed (maxf (fun e -> e.comp_addr) + 1) in
+  let a_lines = Bits.bits_needed (maxf (fun e -> e.lines) + 1) in
+  let a_mops = Bits.bits_needed (maxf (fun e -> e.mops) + 1) in
+  let a_ops = Bits.bits_needed (maxf (fun e -> e.ops) + 1) in
+  Array.iter
+    (fun e ->
+      Bits.Writer.add_bits w ~width:a_addr e.comp_addr;
+      Bits.Writer.add_bits w ~width:a_lines e.lines;
+      Bits.Writer.add_bits w ~width:a_mops e.mops;
+      Bits.Writer.add_bits w ~width:a_ops e.ops)
+    entries;
+  let serialized = Bits.Writer.contents w in
+  let freq = Huffman.Freq.create () in
+  String.iter (fun c -> Huffman.Freq.add freq (Char.code c)) serialized;
+  let compressed_bits =
+    if String.length serialized = 0 then 0
+    else
+      let book =
+        Huffman.Codebook.make ~max_len:16 ~symbol_bits:(fun _ -> 8) freq
+      in
+      let stats = Huffman.Codebook.stats book in
+      stats.Huffman.Codebook.payload_bits + stats.Huffman.Codebook.table_bits
+  in
+  { entries; entry_bits; raw_bits; compressed_bits }
+
+let overhead t ~code_bits =
+  if code_bits <= 0 then invalid_arg "Att.overhead";
+  float_of_int t.compressed_bits /. float_of_int code_bits

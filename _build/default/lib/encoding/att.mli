@@ -1,0 +1,32 @@
+(** Address Translation Table (paper §3.3, Figure 7).
+
+    Compressed code moves every branch target.  Rather than rewriting
+    targets, the original block ids remain in the code and a per-block
+    table maps them to the compressed space.  The compiler emits one entry
+    per block — compressed byte address, the number of memory lines needed
+    to fetch the whole block, and the block's MOP/op counts (the
+    information the ATB serves at run time: last PC and next-PC
+    prediction both derive from these).  The table itself is stored
+    Huffman-compressed in ROM; the paper reports ≈ 15.5 % of image size. *)
+
+type entry = {
+  comp_addr : int;  (** compressed byte address of the block's first op *)
+  lines : int;  (** memory lines to fetch the whole block *)
+  mops : int;
+  ops : int;
+}
+
+type t = {
+  entries : entry array;
+  entry_bits : int;  (** uncompressed bits per entry *)
+  raw_bits : int;  (** uncompressed table size *)
+  compressed_bits : int;  (** as stored in ROM (byte-Huffman) *)
+}
+
+(** [build scheme ~line_bits program] — derive the table for a given code
+    layout and fetch line size. *)
+val build : Scheme.t -> line_bits:int -> Tepic.Program.t -> t
+
+(** [overhead t ~code_bits] — ROM overhead ratio of the stored table
+    relative to the code segment (the paper's 15.5 % figure). *)
+val overhead : t -> code_bits:int -> float

@@ -1,0 +1,26 @@
+let build program =
+  let image, offsets, sizes =
+    Scheme.build_blocks program (fun w ops ->
+        List.iter (Tepic.Encode.encode w) ops)
+  in
+  let counts =
+    Array.map
+      (fun b -> Tepic.Program.block_num_ops b)
+      program.Tepic.Program.blocks
+  in
+  let decode_block i =
+    let r = Bits.Reader.of_string image in
+    Bits.Reader.seek r offsets.(i);
+    List.init counts.(i) (fun _ -> Tepic.Encode.decode r)
+  in
+  {
+    Scheme.name = "base";
+    image;
+    code_bits = 8 * String.length image;
+    table_bits = 0;
+    block_offset_bits = offsets;
+    block_bits = sizes;
+    decoder =
+      { dict_entries = 0; max_code_bits = 0; entry_bits = 0; transistors = 0 };
+    decode_block;
+  }

@@ -1,0 +1,6 @@
+(** The uncompressed 40-bit baseline layout ("Base" in the paper).
+
+    No tables, no dictionary, trivial decode; block offsets are naturally
+    byte-aligned since every op is exactly 5 bytes. *)
+
+val build : Tepic.Program.t -> Scheme.t

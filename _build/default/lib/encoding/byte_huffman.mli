@@ -1,0 +1,13 @@
+(** Byte-wise Huffman compression (paper §2.2, the Wolfe-style alphabet).
+
+    The baseline image is treated as a plain byte stream; one Huffman code
+    over the ≤ 256 byte values compresses it.  Smallest possible decoder
+    (Figure 10) at an intermediate compression ratio (~70 % in the paper's
+    Figure 5).  Code lengths are bounded for IFetch compatibility. *)
+
+(** Longest permitted codeword.  Byte decoders deliver one 8-bit entry per
+    cycle, so the code bound is tight — 12 bits keeps the mux tree small
+    (the paper's Figure 10 point that byte-wise has the smallest decoder). *)
+val max_code_len : int
+
+val build : Tepic.Program.t -> Scheme.t

@@ -1,0 +1,17 @@
+(** Synthesizable-Verilog emission for the PLA decoders (paper §2.3, §3.5).
+
+    The paper's compiler emits a Verilog description of the decoder, which
+    is then used to program the core's PLA.  This module reproduces that
+    output surface: a combinational decoder module for a tailored ISA spec
+    (field extraction, dense-map ROMs, fixed T/OPT/OPCODE anchors) and a
+    canonical-Huffman dictionary ROM for the compressed schemes. *)
+
+(** [tailored_decoder ~module_name spec] — a combinational module taking
+    the widest tailored op word and driving the baseline 40-bit internal
+    signals. *)
+val tailored_decoder :
+  module_name:string -> Tailored.spec -> string
+
+(** [huffman_tables ~module_name book] — dictionary ROM initialization for
+    a canonical Huffman codebook (first-code-per-length decode). *)
+val huffman_tables : module_name:string -> Huffman.Codebook.t -> string

@@ -1,0 +1,23 @@
+(** Sequence-dictionary compression (Liao et al., the paper's §6 related
+    work: the External Pointer Model of Storer & Szymanski).
+
+    Repeated op sequences (including single frequent ops — Liao's
+    call-dictionary degenerate case) are hoisted into a dictionary; the code
+    stream becomes a mix of escaped literals (1 + 40 bits) and dictionary
+    references (1 + index bits).  Matches never cross block boundaries —
+    blocks stay the atomic fetch unit — and the decoder is an indexed ROM
+    rather than a Huffman mux tree, so its {!Scheme.decoder_info} reports
+    zero tree transistors.
+
+    The paper's critique of this family (coarse granularity misses
+    opportunities; Liao reports ≈ 30 % reduction at assembly level) is
+    observable here: the scheme lands between byte-wise Huffman and the
+    tailored ISA on our workloads, well behind whole-op Huffman. *)
+
+(** Maximum sequence length considered (ops). *)
+val max_seq_len : int
+
+(** Maximum dictionary entries. *)
+val max_entries : int
+
+val build : Tepic.Program.t -> Scheme.t

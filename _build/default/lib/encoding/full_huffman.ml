@@ -1,0 +1,46 @@
+let max_code_len = 20
+
+let build program =
+  let freq = Huffman.Freq.create () in
+  Tepic.Program.iter_ops
+    (fun op -> Huffman.Freq.add freq (Tepic.Encode.to_int op))
+    program;
+  let book =
+    Huffman.Codebook.make ~max_len:max_code_len
+      ~symbol_bits:(fun _ -> Tepic.Format_spec.op_bits)
+      freq
+  in
+  let image, offsets, sizes =
+    Scheme.build_blocks program (fun w ops ->
+        List.iter
+          (fun op -> Huffman.Codebook.write book w (Tepic.Encode.to_int op))
+          ops)
+  in
+  let counts =
+    Array.map
+      (fun b -> Tepic.Program.block_num_ops b)
+      program.Tepic.Program.blocks
+  in
+  let decode_block i =
+    let r = Bits.Reader.of_string image in
+    Bits.Reader.seek r offsets.(i);
+    List.init counts.(i) (fun _ ->
+        Tepic.Encode.of_int (Huffman.Codebook.read book r))
+  in
+  let stats = Huffman.Codebook.stats book in
+  {
+    Scheme.name = "full";
+    image;
+    code_bits = 8 * String.length image;
+    table_bits = stats.Huffman.Codebook.table_bits;
+    block_offset_bits = offsets;
+    block_bits = sizes;
+    decoder =
+      {
+        dict_entries = stats.Huffman.Codebook.entries;
+        max_code_bits = stats.Huffman.Codebook.max_code_len;
+        entry_bits = stats.Huffman.Codebook.max_symbol_bits;
+        transistors = Huffman.Codebook.decoder_transistors book;
+      };
+    decode_block;
+  }

@@ -1,0 +1,16 @@
+(** Whole-op Huffman compression ("Full" in the paper).
+
+    Every distinct 40-bit operation image is one dictionary symbol.  This
+    is the paper's best compressor (≈ 30 % of the original size on
+    SPECint95: popular ops like ADD drop from 40 to ~6 bits) and also its
+    largest decoder — the m = 40-bit dictionary entries make the Figure 10
+    cost model explode, which is the paper's central trade-off.
+
+    Code lengths are bounded (package-merge) instead of the paper's
+    alternative of strength-reducing rare ops into common sequences; both
+    mechanisms exist to keep codes within what the IFetch pipeline can
+    shift per cycle (§2.2). *)
+
+val max_code_len : int
+
+val build : Tepic.Program.t -> Scheme.t

@@ -1,0 +1,53 @@
+type decoder_info = {
+  dict_entries : int;
+  max_code_bits : int;
+  entry_bits : int;
+  transistors : int;
+}
+
+type t = {
+  name : string;
+  image : string;
+  code_bits : int;
+  table_bits : int;
+  block_offset_bits : int array;
+  block_bits : int array;
+  decoder : decoder_info;
+  decode_block : int -> Tepic.Op.t list;
+}
+
+let ratio t ~baseline_bits =
+  if baseline_bits <= 0 then invalid_arg "Scheme.ratio";
+  float_of_int t.code_bits /. float_of_int baseline_bits
+
+let verify t program =
+  let n = Tepic.Program.num_blocks program in
+  for i = 0 to n - 1 do
+    let original = Tepic.Program.block_ops (Tepic.Program.block program i) in
+    let decoded = t.decode_block i in
+    if List.length original <> List.length decoded then
+      failwith
+        (Printf.sprintf "%s: block %d decodes to %d ops, expected %d" t.name i
+           (List.length decoded) (List.length original));
+    List.iteri
+      (fun j (a, b) ->
+        if not (Tepic.Op.equal a b) then
+          failwith
+            (Printf.sprintf "%s: block %d op %d mismatch: %s vs %s" t.name i j
+               (Tepic.Op.to_string a) (Tepic.Op.to_string b)))
+      (List.combine original decoded)
+  done
+
+let build_blocks program encode_block =
+  let n = Tepic.Program.num_blocks program in
+  let w = Bits.Writer.create ~initial_bytes:4096 () in
+  let offsets = Array.make n 0 in
+  let sizes = Array.make n 0 in
+  for i = 0 to n - 1 do
+    offsets.(i) <- Bits.Writer.length w;
+    let ops = Tepic.Program.block_ops (Tepic.Program.block program i) in
+    encode_block w ops;
+    sizes.(i) <- Bits.Writer.length w - offsets.(i);
+    ignore (Bits.Writer.align_byte w)
+  done;
+  (Bits.Writer.contents w, offsets, sizes)

@@ -1,0 +1,45 @@
+(** Common shape of every code-layout scheme in the study.
+
+    A scheme turns a scheduled program into a ROM image plus everything the
+    evaluation needs: per-block offsets and sizes (blocks are the atomic
+    fetch unit and are byte-aligned, paper §3.3), the ROM cost of any
+    decode tables, the decoder complexity parameters, and a verified
+    decoder back to the original operations. *)
+
+type decoder_info = {
+  dict_entries : int;  (** k — dictionary entries (0: no dictionary) *)
+  max_code_bits : int;  (** n — longest codeword *)
+  entry_bits : int;  (** m — longest dictionary entry *)
+  transistors : int;
+      (** worst-case Huffman-decoder cost per the paper's model; 0 for
+          schemes decoded by plain field extraction (base, tailored) *)
+}
+
+type t = {
+  name : string;
+  image : string;  (** the code segment, blocks contiguous, byte-aligned *)
+  code_bits : int;  (** total code-segment size (image length in bits) *)
+  table_bits : int;  (** ROM bits for decode tables / dictionaries *)
+  block_offset_bits : int array;  (** bit offset of each block (mult. of 8) *)
+  block_bits : int array;  (** compressed size of each block *)
+  decoder : decoder_info;
+  decode_block : int -> Tepic.Op.t list;
+      (** decompress block [i] back to its exact original ops *)
+}
+
+(** [ratio t ~baseline_bits] — code-segment compression ratio (1.0 = no
+    gain), the quantity plotted in the paper's Figure 5. *)
+val ratio : t -> baseline_bits:int -> float
+
+(** [verify t program] — decode every block and compare with the original
+    ops.  Raises [Failure] with a diagnostic on the first mismatch. *)
+val verify : t -> Tepic.Program.t -> unit
+
+(** [build_blocks program encode_block] — shared image builder: runs
+    [encode_block writer ops] per block, byte-aligns each block start, and
+    assembles image/offsets/sizes.  [block_bits] excludes the alignment
+    padding (it is accounted to the image, as in the paper's totals). *)
+val build_blocks :
+  Tepic.Program.t ->
+  (Bits.Writer.t -> Tepic.Op.t list -> unit) ->
+  string * int array * int array

@@ -1,0 +1,163 @@
+let max_code_len = 13
+
+(* Packed stream symbols carry their width so that, e.g., a 10-bit zero and
+   a 13-bit zero are distinct dictionary entries. *)
+let pack ~value ~width = value lor (width lsl 42)
+let unpack sym = (sym land ((1 lsl 42) - 1), sym lsr 42)
+
+let mk name nstreams assign =
+  {
+    Tepic.Field_stream.name;
+    nstreams;
+    stream_of_field =
+      (fun f ->
+        match f with
+        | "T" | "S" | "OPT" | "OPCODE" -> 0
+        | _ -> assign f);
+  }
+
+let sources = function "SRC1" | "SRC2" | "IMM" -> true | _ -> false
+let dests = function "DEST" -> true | _ -> false
+
+(* Figure 3's four-stream split: prefix / sources / middle / destination. *)
+let classic =
+  mk "stream" 4 (fun f ->
+      if sources f then 1 else if dests f || f = "L1" || f = "PRED" then 3
+      else 2)
+
+(* Finer split that isolates the near-constant predicate field. *)
+let fine =
+  mk "stream_1" 5 (fun f ->
+      if sources f then 1
+      else if dests f then 2
+      else if f = "PRED" || f = "L1" then 3
+      else 4)
+
+let two = mk "stream_2" 2 (fun _ -> 1)
+
+let grouped_regs =
+  mk "stream_3" 3 (fun f -> if sources f || dests f then 1 else 2)
+
+let pred_in_prefix =
+  mk "stream_4" 4 (fun f ->
+      if f = "PRED" then 0 else if sources f then 1 else if dests f then 2
+      else 3)
+
+let per_field =
+  mk "stream_5" 6 (fun f ->
+      if f = "SRC1" then 1
+      else if f = "SRC2" || f = "IMM" then 2
+      else if dests f then 3
+      else if f = "PRED" then 4
+      else 5)
+
+let configs =
+  [
+    ("stream", classic);
+    ("stream_1", fine);
+    ("stream_2", two);
+    ("stream_3", grouped_regs);
+    ("stream_4", pred_in_prefix);
+    ("stream_5", per_field);
+  ]
+
+let () =
+  List.iter (fun (_, c) -> Tepic.Field_stream.validate c) configs
+
+let build ?(config = classic) program =
+  Tepic.Field_stream.validate config;
+  let ns = config.Tepic.Field_stream.nstreams in
+  let freqs = Array.init ns (fun _ -> Huffman.Freq.create ()) in
+  Tepic.Program.iter_ops
+    (fun op ->
+      Array.iteri
+        (fun s (value, width) ->
+          if width > 0 then Huffman.Freq.add freqs.(s) (pack ~value ~width))
+        (Tepic.Field_stream.symbols config op))
+    program;
+  let books =
+    Array.map
+      (fun freq ->
+        if Huffman.Freq.total freq = 0 then None
+        else
+          Some
+            (Huffman.Codebook.make ~max_len:max_code_len
+               ~symbol_bits:(fun sym -> snd (unpack sym))
+               freq))
+      freqs
+  in
+  let image, offsets, sizes =
+    Scheme.build_blocks program (fun w ops ->
+        List.iter
+          (fun op ->
+            Array.iteri
+              (fun s (value, width) ->
+                if width > 0 then
+                  match books.(s) with
+                  | Some book -> Huffman.Codebook.write book w (pack ~value ~width)
+                  | None -> assert false)
+              (Tepic.Field_stream.symbols config op))
+          ops)
+  in
+  let counts =
+    Array.map
+      (fun b -> Tepic.Program.block_num_ops b)
+      program.Tepic.Program.blocks
+  in
+  let decode_block i =
+    let r = Bits.Reader.of_string image in
+    Bits.Reader.seek r offsets.(i);
+    List.init counts.(i) (fun _ ->
+        let book0 =
+          match books.(0) with Some b -> b | None -> assert false
+        in
+        let sym0 = Huffman.Codebook.read book0 r in
+        let v0, w0 = unpack sym0 in
+        let kind = Tepic.Field_stream.kind_of_stream0 config ~value:v0 ~width:w0 in
+        let widths = Tepic.Field_stream.widths config kind in
+        let values = Array.make ns 0 in
+        values.(0) <- v0;
+        for s = 1 to ns - 1 do
+          if widths.(s) > 0 then begin
+            let book =
+              match books.(s) with Some b -> b | None -> assert false
+            in
+            let v, w = unpack (Huffman.Codebook.read book r) in
+            if w <> widths.(s) then
+              failwith "Stream_huffman: decoded symbol width mismatch";
+            values.(s) <- v
+          end
+        done;
+        Tepic.Field_stream.op_of_symbols config kind values)
+  in
+  let live_books =
+    Array.to_list books |> List.filter_map (fun b -> b)
+  in
+  let stat b = Huffman.Codebook.stats b in
+  let table_bits =
+    List.fold_left (fun a b -> a + (stat b).Huffman.Codebook.table_bits) 0 live_books
+  in
+  {
+    Scheme.name = config.Tepic.Field_stream.name;
+    image;
+    code_bits = 8 * String.length image;
+    table_bits;
+    block_offset_bits = offsets;
+    block_bits = sizes;
+    decoder =
+      {
+        dict_entries =
+          List.fold_left (fun a b -> a + (stat b).Huffman.Codebook.entries) 0 live_books;
+        max_code_bits =
+          List.fold_left (fun a b -> max a (stat b).Huffman.Codebook.max_code_len) 0 live_books;
+        entry_bits =
+          List.fold_left
+            (fun a b -> max a (stat b).Huffman.Codebook.max_symbol_bits)
+            0 live_books;
+        transistors =
+          List.fold_left
+            (fun a b -> a + Huffman.Codebook.decoder_transistors b)
+            0 live_books;
+      };
+    decode_block;
+  }

@@ -1,0 +1,22 @@
+(** Stream-based Huffman compression (paper §2.2, Figure 3).
+
+    Operation fields are partitioned into independent compression streams
+    at fixed field boundaries; each stream gets its own Huffman code, and
+    an op is the concatenation of its streams' codewords.  Exploits fields
+    that are individually very repetitive (OPT/OPCODE pairs, the
+    almost-always-true predicate) without paying for their cross-product.
+
+    The paper evaluated six stream configurations and reported the two
+    best: ["stream"] (smallest decoder) and ["stream_1"] (smallest code).
+    All six are available here; {!configs} lists them in that order. *)
+
+val max_code_len : int
+
+(** The six stream partitions.  Every configuration keeps the T/S/OPT/
+    OPCODE prefix in stream 0, which is what makes the code decodable
+    (the prefix identifies the format and hence every other stream's
+    symbol width). *)
+val configs : (string * Tepic.Field_stream.t) list
+
+(** [build ?config program] — default configuration is ["stream"]. *)
+val build : ?config:Tepic.Field_stream.t -> Tepic.Program.t -> Scheme.t

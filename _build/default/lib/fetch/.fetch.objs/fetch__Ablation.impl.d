@@ -1,0 +1,1 @@
+lib/fetch/ablation.ml: Array Atb Bus Config Emulator Encoding Line_cache Sim

@@ -1,0 +1,1 @@
+lib/fetch/ablation.mli: Config Emulator Encoding Sim

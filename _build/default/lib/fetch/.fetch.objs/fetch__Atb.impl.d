@@ -1,0 +1,1 @@
+lib/fetch/atb.ml: Array Config Hashtbl

@@ -1,0 +1,1 @@
+lib/fetch/bus.ml: Bits Char Config String

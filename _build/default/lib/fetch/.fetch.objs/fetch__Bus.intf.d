@@ -1,0 +1,1 @@
+lib/fetch/bus.mli: Config

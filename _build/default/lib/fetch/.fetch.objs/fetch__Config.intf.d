@@ -1,0 +1,1 @@
+lib/fetch/config.mli:

@@ -1,0 +1,1 @@
+lib/fetch/l0_buffer.mli: Config

@@ -1,0 +1,1 @@
+lib/fetch/line_cache.mli: Config

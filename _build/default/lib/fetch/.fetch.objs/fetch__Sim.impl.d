@@ -1,0 +1,1 @@
+lib/fetch/sim.ml: Array Atb Bus Config Emulator Encoding Format L0_buffer Line_cache List

@@ -1,0 +1,1 @@
+lib/fetch/sim.mli: Config Emulator Encoding Format

@@ -1,0 +1,1 @@
+lib/fetch/superblock.ml: Array Atb Bus Config Emulator Encoding Fun L0_buffer Line_cache List Sim Tepic

@@ -1,0 +1,1 @@
+lib/fetch/superblock.mli: Config Emulator Encoding Sim Tepic

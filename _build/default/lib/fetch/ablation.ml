@@ -1,0 +1,87 @@
+(* Decompress-at-miss penalties: the hit path is the banked baseline (1
+   cycle, 2 on mispredict); the miss path fetches n compressed lines and
+   runs them through the decompressor, costing two extra cycles over the
+   baseline miss (decode rate = fill rate, pipelined). *)
+let penalty ~predicted ~cache_hit ~lines =
+  let n = max 1 lines in
+  match (predicted, cache_hit) with
+  | true, true -> 1
+  | true, false -> 3 + (n - 1)
+  | false, true -> 2
+  | false, false -> 10 + (n - 1)
+
+let run ~cfg ~base_scheme ~comp_scheme ~(comp_att : Encoding.Att.t) trace =
+  let cache = Line_cache.create cfg in
+  let atb =
+    Atb.create cfg ~num_blocks:(Array.length comp_att.Encoding.Att.entries)
+  in
+  let bus = Bus.create cfg ~image:comp_scheme.Encoding.Scheme.image in
+  let cycles = ref 0 in
+  let ops = ref 0 and mops = ref 0 in
+  let l1_hits = ref 0 and l1_misses = ref 0 in
+  let mispredicts = ref 0 in
+  let lines_fetched = ref 0 in
+  let prev = ref None in
+  let predicted_next = ref (-1) in
+  Emulator.Trace.iter
+    (fun b ->
+      let e = comp_att.Encoding.Att.entries.(b) in
+      (* The cache stores decompressed ops: index by the baseline layout. *)
+      let offset_bits = base_scheme.Encoding.Scheme.block_offset_bits.(b) in
+      let size_bits = base_scheme.Encoding.Scheme.block_bits.(b) in
+      let predicted =
+        match !prev with
+        | None -> true
+        | Some p ->
+            let ok = !predicted_next = b in
+            if not ok then incr mispredicts;
+            Atb.update atb p ~next:b;
+            ok
+      in
+      let atb_hit = Atb.lookup atb b in
+      if not atb_hit then begin
+        cycles := !cycles + cfg.Config.atb_miss_penalty;
+        ignore (Bus.fetch_extra_bits bus comp_att.Encoding.Att.entry_bits)
+      end;
+      let cache_hit = Line_cache.block_resident cache ~offset_bits ~size_bits in
+      if cache_hit then incr l1_hits
+      else begin
+        incr l1_misses;
+        (* Memory sees the compressed lines of this block. *)
+        let comp_off = comp_scheme.Encoding.Scheme.block_offset_bits.(b) in
+        let comp_sz = comp_scheme.Encoding.Scheme.block_bits.(b) in
+        let first = comp_off / cfg.Config.line_bits in
+        let last = (comp_off + max 1 comp_sz - 1) / cfg.Config.line_bits in
+        for line = first to last do
+          ignore (Bus.fetch_line bus line)
+        done;
+        lines_fetched := !lines_fetched + (last - first + 1)
+      end;
+      ignore (Line_cache.touch_block cache ~offset_bits ~size_bits);
+      let pen =
+        penalty ~predicted ~cache_hit ~lines:e.Encoding.Att.lines
+      in
+      cycles := !cycles + pen + (e.Encoding.Att.mops - 1);
+      ops := !ops + e.Encoding.Att.ops;
+      mops := !mops + e.Encoding.Att.mops;
+      predicted_next := Atb.predict atb b;
+      prev := Some b)
+    trace;
+  {
+    Sim.model = "codepack";
+    cycles = !cycles;
+    ops_delivered = !ops;
+    mops_delivered = !mops;
+    block_visits = Emulator.Trace.length trace;
+    ipc =
+      (if !cycles = 0 then 0. else float_of_int !ops /. float_of_int !cycles);
+    l1_hits = !l1_hits;
+    l1_misses = !l1_misses;
+    l0_hits = 0;
+    l0_misses = 0;
+    mispredicts = !mispredicts;
+    atb_misses = Atb.misses atb;
+    lines_fetched = !lines_fetched;
+    bus_flips = Bus.total_flips bus;
+    bus_beats = Bus.total_beats bus;
+  }

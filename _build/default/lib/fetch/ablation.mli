@@ -1,0 +1,25 @@
+(** Ablation: CodePack-style decompress-at-miss-time fetch.
+
+    The paper's central design decision is to cache {e compressed} code and
+    decompress on the hit path (§3.4: "most of the researchers [1,8,9]
+    uncompress their instructions prior to putting them into the ICache
+    but a compressed cache is able to hold several times more
+    instructions").  This module models the alternative the paper argues
+    against: the ICache stores ready-to-issue 40-bit ops (losing the
+    capacity multiplier) and the Huffman decompressor sits on the miss
+    path only (adding two cycles there, like the IBM CodePack).
+
+    Memory traffic is still compressed — that part of the benefit survives
+    — so the comparison isolates exactly the cache-capacity effect. *)
+
+(** [run ~cfg ~base_scheme ~comp_att trace] — the cache is indexed by the
+    uncompressed layout ([base_scheme]); miss repair costs are driven by
+    the compressed line counts in [comp_att]; bus traffic reads the
+    compressed image. *)
+val run :
+  cfg:Config.t ->
+  base_scheme:Encoding.Scheme.t ->
+  comp_scheme:Encoding.Scheme.t ->
+  comp_att:Encoding.Att.t ->
+  Emulator.Trace.t ->
+  Sim.result

@@ -1,0 +1,125 @@
+type entry = {
+  block : int;
+  mutable counter : int;  (* 2-bit saturating: 0-1 not taken, 2-3 taken *)
+  mutable last_target : int;
+  mutable age : int;
+}
+
+(* Optional gshare direction predictor (the paper's "more elaborate branch
+   prediction" future work): a global history register XOR-indexes a
+   pattern history table of 2-bit counters.  Targets still come from each
+   ATB entry's last-target register. *)
+type gshare = {
+  history_bits : int;
+  mutable history : int;
+  pht : int array;
+}
+
+type t = {
+  capacity : int;
+  table : (int, entry) Hashtbl.t;
+  (* The ATT in ROM is static, so prediction state is lost when an entry
+     is evicted, exactly like a tag-indexed BTB.  We model that. *)
+  num_blocks : int;
+  gshare : gshare option;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create cfg ~num_blocks =
+  let gshare =
+    match cfg.Config.predictor with
+    | Config.Two_bit -> None
+    | Config.Gshare bits ->
+        if bits < 2 || bits > 14 then invalid_arg "Atb.create: history bits";
+        Some
+          { history_bits = bits; history = 0; pht = Array.make (1 lsl bits) 1 }
+  in
+  {
+    capacity = cfg.Config.atb_entries;
+    table = Hashtbl.create 97;
+    num_blocks;
+    gshare;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ e ->
+      match !victim with
+      | Some v when v.age <= e.age -> ()
+      | _ -> victim := Some e)
+    t.table;
+  match !victim with
+  | Some v -> Hashtbl.remove t.table v.block
+  | None -> ()
+
+let lookup t block =
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.table block with
+  | Some e ->
+      e.age <- t.clock;
+      t.hits <- t.hits + 1;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      Hashtbl.replace t.table block
+        { block; counter = 1; last_target = block + 1; age = t.clock };
+      false
+
+let gshare_index g block = (block lxor g.history) land ((1 lsl g.history_bits) - 1)
+
+let predicts_taken t block =
+  match t.gshare with
+  | Some g -> g.pht.(gshare_index g block) >= 2
+  | None -> (
+      match Hashtbl.find_opt t.table block with
+      | Some e -> e.counter >= 2
+      | None -> false)
+
+let predict t block =
+  let fall = min (block + 1) (t.num_blocks - 1) in
+  if predicts_taken t block then
+    match Hashtbl.find_opt t.table block with
+    | Some e -> e.last_target
+    | None -> fall
+  else fall
+
+let update t block ~next =
+  let taken = next <> block + 1 in
+  (match t.gshare with
+  | Some g ->
+      let i = gshare_index g block in
+      g.pht.(i) <-
+        (if taken then min 3 (g.pht.(i) + 1) else max 0 (g.pht.(i) - 1));
+      g.history <-
+        ((g.history lsl 1) lor (if taken then 1 else 0))
+        land ((1 lsl g.history_bits) - 1)
+  | None -> ());
+  match Hashtbl.find_opt t.table block with
+  | Some e ->
+      if taken then begin
+        e.counter <- min 3 (e.counter + 1);
+        e.last_target <- next
+      end
+      else e.counter <- max 0 (e.counter - 1)
+  | None -> ()
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset t =
+  Hashtbl.reset t.table;
+  (match t.gshare with
+  | Some g ->
+      g.history <- 0;
+      Array.fill g.pht 0 (Array.length g.pht) 1
+  | None -> ());
+  t.clock <- 0;
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,62 @@
+type t = {
+  cfg : Config.t;
+  image : string;
+  mutable last_word : int;
+  mutable flips : int;
+  mutable beats : int;
+}
+
+let create cfg ~image = { cfg; image; last_word = 0; flips = 0; beats = 0 }
+
+(* Read [width] bits starting at absolute bit [pos] in the image,
+   zero-padded past the end. *)
+let read_bits t ~pos ~width =
+  let v = ref 0 in
+  for i = pos to pos + width - 1 do
+    let byte = i / 8 and off = i mod 8 in
+    let bit =
+      if byte < String.length t.image then
+        (Char.code t.image.[byte] lsr (7 - off)) land 1
+      else 0
+    in
+    v := (!v lsl 1) lor bit
+  done;
+  !v
+
+let drive t word =
+  let f = Bits.flips_between t.last_word word in
+  t.last_word <- word;
+  t.flips <- t.flips + f;
+  t.beats <- t.beats + 1;
+  f
+
+let fetch_line t line =
+  let lb = t.cfg.Config.line_bits and bw = t.cfg.Config.bus_bits in
+  let beats = (lb + bw - 1) / bw in
+  let start = line * lb in
+  let total = ref 0 in
+  for b = 0 to beats - 1 do
+    let pos = start + (b * bw) in
+    let width = min bw (lb - (b * bw)) in
+    total := !total + drive t (read_bits t ~pos ~width)
+  done;
+  !total
+
+let fetch_extra_bits t bits =
+  let bw = t.cfg.Config.bus_bits in
+  let beats = (max 0 bits + bw - 1) / bw in
+  let total = ref 0 in
+  for _ = 1 to beats do
+    (* ATT traffic content is not modelled bit-exactly; charge a half-width
+       toggle as the expected transition cost of random table data. *)
+    total := !total + drive t (t.last_word lxor ((1 lsl (bw / 2)) - 1))
+  done;
+  !total
+
+let total_flips t = t.flips
+let total_beats t = t.beats
+
+let reset t =
+  t.last_word <- 0;
+  t.flips <- 0;
+  t.beats <- 0

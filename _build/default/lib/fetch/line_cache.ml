@@ -1,0 +1,82 @@
+type t = {
+  cfg : Config.t;
+  sets : int;
+  (* tags.(set).(way) = line number or -1; lru.(set).(way) = age stamp *)
+  tags : int array array;
+  lru : int array array;
+  mutable clock : int;
+}
+
+let create cfg =
+  let sets = Config.num_sets cfg in
+  {
+    cfg;
+    sets;
+    tags = Array.init sets (fun _ -> Array.make cfg.Config.ways (-1));
+    lru = Array.init sets (fun _ -> Array.make cfg.Config.ways 0);
+    clock = 0;
+  }
+
+let lines_of_block t ~offset_bits ~size_bits =
+  let lb = t.cfg.Config.line_bits in
+  let first = offset_bits / lb in
+  let last = (offset_bits + max 1 size_bits - 1) / lb in
+  (first, last)
+
+let set_of t line = line mod t.sets
+
+let find_way t set line =
+  let ways = t.tags.(set) in
+  let rec go i =
+    if i >= Array.length ways then None
+    else if ways.(i) = line then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let line_resident t line = find_way t (set_of t line) line <> None
+
+let block_resident t ~offset_bits ~size_bits =
+  let first, last = lines_of_block t ~offset_bits ~size_bits in
+  let rec go l = l > last || (line_resident t l && go (l + 1)) in
+  go first
+
+let touch_line t line =
+  t.clock <- t.clock + 1;
+  let set = set_of t line in
+  match find_way t set line with
+  | Some w ->
+      t.lru.(set).(w) <- t.clock;
+      false
+  | None ->
+      (* Evict LRU way. *)
+      let victim = ref 0 in
+      Array.iteri
+        (fun w age -> if age < t.lru.(set).(!victim) then victim := w)
+        t.lru.(set);
+      (* Prefer an empty way. *)
+      Array.iteri (fun w tag -> if tag = -1 then victim := w) t.tags.(set);
+      t.tags.(set).(!victim) <- line;
+      t.lru.(set).(!victim) <- t.clock;
+      true
+
+let touch_block t ~offset_bits ~size_bits =
+  let first, last = lines_of_block t ~offset_bits ~size_bits in
+  let fetched = ref 0 in
+  for l = first to last do
+    if touch_line t l then incr fetched
+  done;
+  !fetched
+
+let fetched_lines t ~offset_bits ~size_bits =
+  let first, last = lines_of_block t ~offset_bits ~size_bits in
+  let acc = ref [] in
+  for l = last downto first do
+    if not (line_resident t l) then acc := l :: !acc
+  done;
+  !acc
+
+let reset t =
+  Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1)) t.tags;
+  Array.iter (fun ages -> Array.fill ages 0 (Array.length ages) 0) t.lru;
+  t.clock <- 0

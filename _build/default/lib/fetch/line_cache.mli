@@ -1,0 +1,30 @@
+(** Set-associative line cache over a scheme's compressed address space.
+
+    Models the storage of the banked ICache (§3.4): the two banks are
+    interleaved line storage, so for hit/miss purposes the structure is an
+    ordinary set-associative cache of {!Config.t.line_bits} lines with LRU
+    replacement.  Blocks follow the restricted placement model — a block
+    hits only if {e every} line it spans is resident. *)
+
+type t
+
+val create : Config.t -> t
+
+(** [lines_of_block t ~offset_bits ~size_bits] — inclusive line-number
+    range a block occupies. *)
+val lines_of_block : t -> offset_bits:int -> size_bits:int -> int * int
+
+(** [block_resident t ~offset_bits ~size_bits] — restricted-placement hit
+    test (does not touch LRU state). *)
+val block_resident : t -> offset_bits:int -> size_bits:int -> bool
+
+(** [touch_block t ~offset_bits ~size_bits] — reference the block: missing
+    lines are filled (LRU eviction), present lines refreshed.  Returns the
+    number of lines fetched from memory (0 on a full hit). *)
+val touch_block : t -> offset_bits:int -> size_bits:int -> int
+
+(** [fetched_lines t ~offset_bits ~size_bits] — the line numbers a
+    [touch_block] would have to fetch right now (for bus modelling). *)
+val fetched_lines : t -> offset_bits:int -> size_bits:int -> int list
+
+val reset : t -> unit

@@ -1,0 +1,151 @@
+type result = {
+  model : string;
+  cycles : int;
+  ops_delivered : int;
+  mops_delivered : int;
+  block_visits : int;
+  ipc : float;
+  l1_hits : int;
+  l1_misses : int;
+  l0_hits : int;
+  l0_misses : int;
+  mispredicts : int;
+  atb_misses : int;
+  lines_fetched : int;
+  bus_flips : int;
+  bus_beats : int;
+}
+
+let model_name = function
+  | Config.Base -> "base"
+  | Config.Tailored -> "tailored"
+  | Config.Compressed -> "compressed"
+
+let run ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
+  let cache = Line_cache.create cfg in
+  let atb = Atb.create cfg ~num_blocks:(Array.length att.Encoding.Att.entries) in
+  let l0 = L0_buffer.create cfg in
+  let bus = Bus.create cfg ~image:scheme.Encoding.Scheme.image in
+  let compressed = model = Config.Compressed in
+  let cycles = ref 0 in
+  let ops = ref 0 and mops = ref 0 in
+  let l1_hits = ref 0 and l1_misses = ref 0 in
+  let mispredicts = ref 0 in
+  let lines_fetched = ref 0 in
+  let prev = ref None in
+  let predicted_next = ref (-1) in
+  Emulator.Trace.iter
+    (fun b ->
+      let e = att.Encoding.Att.entries.(b) in
+      let offset_bits = scheme.Encoding.Scheme.block_offset_bits.(b) in
+      let size_bits = scheme.Encoding.Scheme.block_bits.(b) in
+      (* 1. Resolve the previous block's prediction and train it. *)
+      let predicted =
+        match !prev with
+        | None -> true
+        | Some p ->
+            let ok = !predicted_next = b in
+            if not ok then incr mispredicts;
+            Atb.update atb p ~next:b;
+            ok
+      in
+      (* 2. ATB lookup for the new block. *)
+      let atb_hit = Atb.lookup atb b in
+      if not atb_hit then begin
+        cycles := !cycles + cfg.Config.atb_miss_penalty;
+        ignore (Bus.fetch_extra_bits bus att.Encoding.Att.entry_bits)
+      end;
+      (* 3. Cache and buffer state. *)
+      let buffer_hit = compressed && L0_buffer.hit l0 b in
+      let cache_hit =
+        if compressed && buffer_hit then
+          (* L0 has priority; L1 is not consulted. *)
+          true
+        else Line_cache.block_resident cache ~offset_bits ~size_bits
+      in
+      if not buffer_hit then begin
+        if cache_hit then incr l1_hits else incr l1_misses;
+        (* Memory traffic for the missing lines, then fill. *)
+        List.iter
+          (fun line -> ignore (Bus.fetch_line bus line))
+          (Line_cache.fetched_lines cache ~offset_bits ~size_bits);
+        lines_fetched :=
+          !lines_fetched + Line_cache.touch_block cache ~offset_bits ~size_bits;
+        if compressed then L0_buffer.insert l0 b ~ops:e.Encoding.Att.ops
+      end;
+      (* 4. Cycle accounting: Table 1 initiation plus MOP streaming. *)
+      let pen =
+        Config.penalty model ~predicted ~cache_hit ~buffer_hit
+          ~lines:e.Encoding.Att.lines
+      in
+      cycles := !cycles + pen + (e.Encoding.Att.mops - 1);
+      ops := !ops + e.Encoding.Att.ops;
+      mops := !mops + e.Encoding.Att.mops;
+      (* 5. Predict the next block from this block's entry; optionally
+         prefetch its lines in the shadow of the streaming cycles. *)
+      predicted_next := Atb.predict atb b;
+      if cfg.Config.prefetch_next && !predicted_next >= 0 then begin
+        let p = !predicted_next in
+        let p_off = scheme.Encoding.Scheme.block_offset_bits.(p) in
+        let p_sz = scheme.Encoding.Scheme.block_bits.(p) in
+        List.iter
+          (fun line -> ignore (Bus.fetch_line bus line))
+          (Line_cache.fetched_lines cache ~offset_bits:p_off ~size_bits:p_sz);
+        lines_fetched :=
+          !lines_fetched
+          + Line_cache.touch_block cache ~offset_bits:p_off ~size_bits:p_sz
+      end;
+      prev := Some b)
+    trace;
+  {
+    model = model_name model;
+    cycles = !cycles;
+    ops_delivered = !ops;
+    mops_delivered = !mops;
+    block_visits = Emulator.Trace.length trace;
+    ipc =
+      (if !cycles = 0 then 0. else float_of_int !ops /. float_of_int !cycles);
+    l1_hits = !l1_hits;
+    l1_misses = !l1_misses;
+    l0_hits = L0_buffer.hits l0;
+    l0_misses = L0_buffer.misses l0;
+    mispredicts = !mispredicts;
+    atb_misses = Atb.misses atb;
+    lines_fetched = !lines_fetched;
+    bus_flips = Bus.total_flips bus;
+    bus_beats = Bus.total_beats bus;
+  }
+
+let run_ideal ~(att : Encoding.Att.t) trace =
+  let cycles = ref 0 and ops = ref 0 and mops = ref 0 in
+  Emulator.Trace.iter
+    (fun b ->
+      let e = att.Encoding.Att.entries.(b) in
+      cycles := !cycles + e.Encoding.Att.mops;
+      ops := !ops + e.Encoding.Att.ops;
+      mops := !mops + e.Encoding.Att.mops)
+    trace;
+  {
+    model = "ideal";
+    cycles = !cycles;
+    ops_delivered = !ops;
+    mops_delivered = !mops;
+    block_visits = Emulator.Trace.length trace;
+    ipc =
+      (if !cycles = 0 then 0. else float_of_int !ops /. float_of_int !cycles);
+    l1_hits = 0;
+    l1_misses = 0;
+    l0_hits = 0;
+    l0_misses = 0;
+    mispredicts = 0;
+    atb_misses = 0;
+    lines_fetched = 0;
+    bus_flips = 0;
+    bus_beats = 0;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%-10s ipc=%.3f cycles=%d ops=%d l1=%d/%d l0=%d/%d mispred=%d flips=%d"
+    r.model r.ipc r.cycles r.ops_delivered r.l1_hits r.l1_misses r.l0_hits
+    r.l0_misses r.mispredicts r.bus_flips

@@ -1,0 +1,51 @@
+(** The cache study's fetch simulators (paper §3-§5, Figure 13-14).
+
+    Replays a block-granular execution trace against one of four fetch
+    organizations and accounts cycles with the paper's Table 1:
+
+    - {b Ideal}: perfect cache, perfect prediction — one MOP per cycle,
+      always;
+    - {b Base}: uncompressed 40-bit code in the banked ICache (20 KB);
+    - {b Tailored}: tailored-ISA code in the banked ICache, extra miss-path
+      stage (16 KB);
+    - {b Compressed}: Huffman-compressed code cached compressed, L0
+      decompression buffer, decompressor on the hit path (16 KB).
+
+    Every model fetches blocks atomically (restricted placement), predicts
+    the next block with the ATB-resident 2-bit/last-target predictor, and
+    streams one MOP per cycle after the Table 1 initiation penalty. *)
+
+type result = {
+  model : string;
+  cycles : int;
+  ops_delivered : int;
+  mops_delivered : int;
+  block_visits : int;
+  ipc : float;  (** ops delivered per cycle — the paper's Figure 13 metric *)
+  l1_hits : int;
+  l1_misses : int;
+  l0_hits : int;  (** compressed model only; 0 otherwise *)
+  l0_misses : int;
+  mispredicts : int;
+  atb_misses : int;
+  lines_fetched : int;
+  bus_flips : int;  (** Figure 14 metric *)
+  bus_beats : int;
+}
+
+(** [run ~model ~cfg ~scheme ~att trace] — replay [trace].  [scheme] must
+    be the layout the model caches ([Baseline] image for [Base], tailored
+    image for [Tailored], a Huffman image for [Compressed]); [att] must be
+    built from the same scheme with [cfg]'s line size. *)
+val run :
+  model:Config.model ->
+  cfg:Config.t ->
+  scheme:Encoding.Scheme.t ->
+  att:Encoding.Att.t ->
+  Emulator.Trace.t ->
+  result
+
+(** [run_ideal ~att trace] — the perfect-fetch upper bound. *)
+val run_ideal : att:Encoding.Att.t -> Emulator.Trace.t -> result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,45 @@
+(** Superblock fetch units — the paper's "complex blocks" future work.
+
+    §3.1: any single-entry block sequence can serve as the atomic fetch
+    unit; the paper evaluates basic blocks and leaves superblocks (side
+    exits allowed, no side entrances) to future work.  This module forms
+    maximal fall-through chains in which every non-head block has exactly
+    one predecessor, and replays a block trace as unit visits: one ATB
+    entry, one prediction and one placement decision per unit instead of
+    per block.
+
+    The trade-off the paper anticipates is visible in the simulator: fewer
+    prediction points and longer streaming runs, against whole-unit miss
+    repair that fetches code past a side exit ("we will over-pollute the
+    ICache" if exits are frequent). *)
+
+type t
+
+(** [form program] — partition blocks into superblocks.  A block [b+1]
+    joins [b]'s unit when [b] can fall through into it (no unconditional
+    jump, return or call between them) and [b] is its only predecessor. *)
+val form : Tepic.Program.t -> t
+
+(** [head t b] — the head block of [b]'s unit. *)
+val head : t -> int -> int
+
+(** [unit_blocks t h] — the blocks of the unit headed by [h], in order.
+    Raises [Invalid_argument] if [h] is not a head. *)
+val unit_blocks : t -> int -> int list
+
+(** [num_units t] and mean blocks per unit. *)
+val stats : t -> int * float
+
+(** [run ~model ~cfg ~scheme ~att t trace] — the fetch simulation of
+    {!Sim.run}, but with superblocks as the fetch unit: a unit visit
+    consumes the maximal run of trace entries that follows the unit's
+    fall-through order; penalties are charged per unit entry with [n] the
+    whole unit's line count (restricted placement over the full unit). *)
+val run :
+  model:Config.model ->
+  cfg:Config.t ->
+  scheme:Encoding.Scheme.t ->
+  att:Encoding.Att.t ->
+  t ->
+  Emulator.Trace.t ->
+  Sim.result

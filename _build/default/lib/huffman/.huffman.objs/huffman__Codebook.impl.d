@@ -1,0 +1,1 @@
+lib/huffman/codebook.ml: Bits Canonical Decoder_cost Freq List Package_merge Tree

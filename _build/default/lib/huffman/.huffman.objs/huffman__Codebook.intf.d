@@ -1,0 +1,1 @@
+lib/huffman/codebook.mli: Bits Canonical Freq

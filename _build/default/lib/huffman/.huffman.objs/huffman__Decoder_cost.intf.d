@@ -1,0 +1,1 @@
+lib/huffman/decoder_cost.mli:

@@ -1,0 +1,1 @@
+lib/huffman/freq.ml: Hashtbl List

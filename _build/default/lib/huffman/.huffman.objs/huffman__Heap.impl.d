@@ -1,0 +1,1 @@
+lib/huffman/heap.ml: Array

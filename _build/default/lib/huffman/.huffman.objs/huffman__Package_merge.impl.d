@@ -1,0 +1,1 @@
+lib/huffman/package_merge.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/huffman/tree.mli:

@@ -1,0 +1,106 @@
+type t = {
+  max_len : int;
+  (* Symbols in canonical order. *)
+  symbols : int array;
+  lengths : int array;
+  codes : int array;
+  (* Per length l (1-indexed): code value of the first codeword of length l
+     and its position in [symbols]; -1 when no codeword has that length. *)
+  first_code : int array;
+  first_index : int array;
+  count_at : int array;
+  by_symbol : (int, int) Hashtbl.t;  (* symbol -> canonical index *)
+}
+
+let of_lengths lens =
+  if lens = [] then invalid_arg "Canonical.of_lengths: empty";
+  List.iter
+    (fun (_, l) ->
+      if l < 1 || l > 61 then invalid_arg "Canonical.of_lengths: bad length")
+    lens;
+  let sorted =
+    List.sort
+      (fun (s1, l1) (s2, l2) -> if l1 <> l2 then compare l1 l2 else compare s1 s2)
+      lens
+  in
+  let n = List.length sorted in
+  let max_len = List.fold_left (fun a (_, l) -> max a l) 0 sorted in
+  (* Kraft check. *)
+  let kraft =
+    List.fold_left (fun a (_, l) -> a + (1 lsl (max_len - l))) 0 sorted
+  in
+  if kraft > 1 lsl max_len then
+    invalid_arg "Canonical.of_lengths: Kraft inequality violated";
+  let symbols = Array.make n 0 and lengths = Array.make n 0 in
+  List.iteri
+    (fun i (s, l) ->
+      symbols.(i) <- s;
+      lengths.(i) <- l)
+    sorted;
+  let by_symbol = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i s ->
+      if Hashtbl.mem by_symbol s then
+        invalid_arg "Canonical.of_lengths: duplicate symbol";
+      Hashtbl.add by_symbol s i)
+    symbols;
+  let codes = Array.make n 0 in
+  let first_code = Array.make (max_len + 1) (-1) in
+  let first_index = Array.make (max_len + 1) (-1) in
+  let count_at = Array.make (max_len + 1) 0 in
+  let code = ref 0 and prev_len = ref 0 in
+  Array.iteri
+    (fun i l ->
+      if i > 0 then incr code;
+      if l > !prev_len then begin
+        code := !code lsl (l - !prev_len);
+        prev_len := l
+      end;
+      codes.(i) <- !code;
+      count_at.(l) <- count_at.(l) + 1;
+      if first_code.(l) < 0 then begin
+        first_code.(l) <- !code;
+        first_index.(l) <- i
+      end)
+    lengths;
+  { max_len; symbols; lengths; codes; first_code; first_index; count_at; by_symbol }
+
+let index t symbol =
+  match Hashtbl.find_opt t.by_symbol symbol with
+  | Some i -> i
+  | None -> raise Not_found
+
+let code t symbol =
+  let i = index t symbol in
+  (t.codes.(i), t.lengths.(i))
+
+let mem t symbol = Hashtbl.mem t.by_symbol symbol
+
+let write t w symbol =
+  let bits, len = code t symbol in
+  Bits.Writer.add_bits w ~width:len bits
+
+let read t r =
+  let acc = ref 0 and len = ref 0 in
+  let result = ref None in
+  while !result = None do
+    if !len >= t.max_len then invalid_arg "Canonical.read: invalid code";
+    acc := (!acc lsl 1) lor (if Bits.Reader.read_bit r then 1 else 0);
+    incr len;
+    let l = !len in
+    if t.first_code.(l) >= 0 then begin
+      let offset = !acc - t.first_code.(l) in
+      if offset >= 0 && offset < t.count_at.(l) then
+        result := Some t.symbols.(t.first_index.(l) + offset)
+    end
+  done;
+  match !result with Some s -> s | None -> assert false
+
+let entries t = Array.length t.symbols
+let max_length t = t.max_len
+
+let to_list t =
+  Array.to_list (Array.mapi (fun i s -> (s, t.codes.(i), t.lengths.(i))) t.symbols)
+
+let kraft_sum_num t =
+  Array.fold_left (fun a l -> a + (1 lsl (t.max_len - l))) 0 t.lengths

@@ -1,0 +1,38 @@
+(** Canonical prefix codes.
+
+    Given code lengths (from {!Tree} or {!Package_merge}), assigns the
+    canonical codewords: symbols sorted by (length, symbol value) receive
+    consecutive codes.  Canonical codes decode with the compact
+    first-code-per-length method, which also mirrors the row-per-level
+    structure of the paper's Huffman tree decoder (Figure 9). *)
+
+type t
+
+(** [of_lengths lens] builds the code.  Lengths must be positive and
+    satisfy Kraft's inequality; symbols must be distinct.
+    Raises [Invalid_argument] otherwise. *)
+val of_lengths : (int * int) list -> t
+
+(** [code t symbol] is the (bits, length) codeword.
+    Raises [Not_found] for symbols outside the alphabet. *)
+val code : t -> int -> int * int
+
+val mem : t -> int -> bool
+
+(** [write t w symbol] appends the codeword for [symbol]. *)
+val write : t -> Bits.Writer.t -> int -> unit
+
+(** [read t r] decodes one symbol from the reader.
+    Raises [Invalid_argument] on a code not in the alphabet (possible only
+    for non-complete codes) or a truncated stream. *)
+val read : t -> Bits.Reader.t -> int
+
+val entries : t -> int
+val max_length : t -> int
+
+(** [to_list t] is the (symbol, bits, length) table in canonical order. *)
+val to_list : t -> (int * int * int) list
+
+(** [kraft_sum_num t] is [sum 2^(max_len - len_i)]; the code is complete
+    when this equals [2^max_len]. *)
+val kraft_sum_num : t -> int

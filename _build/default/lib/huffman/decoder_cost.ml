@@ -1,0 +1,7 @@
+let transistors ~n ~m =
+  if n < 1 || n > 40 then invalid_arg "Decoder_cost.transistors: n out of range";
+  if m < 1 then invalid_arg "Decoder_cost.transistors: m < 1";
+  let p = 1 lsl n in
+  (2 * m * (p - 1)) + (4 * m * (p - (p / 2) - 1)) + (2 * n)
+
+let practical_range = (10_000, 28_000)

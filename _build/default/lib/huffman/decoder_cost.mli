@@ -1,0 +1,23 @@
+(** Worst-case Huffman decoder complexity model (paper §3.5, Figures 9-10).
+
+    The decoder is modelled as a mux tree over the [2^n - 1] nodes of a
+    depth-[n] Huffman tree with [m]-bit dictionary entries, implemented with
+    CMOS transmission-gate multiplexers (2 transistors each), plus the
+    inverters that drive them:
+
+    {v T = 2m(2^n - 1) + 4m(2^n - 2^(n-1) - 1) + 2n v}
+
+    It is a comparison criterion, not a hardware proposal: the first row of
+    muxes passes constants (1 transistor), inverters are included, and no
+    logic sharing is assumed. *)
+
+(** [transistors ~n ~m] evaluates the model for longest code [n] and longest
+    dictionary entry [m] bits.  Raises [Invalid_argument] when [n] is out
+    of [1, 40] — beyond that the worst-case model exceeds any realistic PLA
+    and the compiler would have bounded the code instead. *)
+val transistors : n:int -> m:int -> int
+
+(** [practical_range] is the transistor budget reported by the asynchronous
+    decompressor studies the paper cites ([17,18]): 10,000 to 28,000
+    transistors for 114-entry tables with 1-16 bit codes. *)
+val practical_range : int * int

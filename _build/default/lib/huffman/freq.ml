@@ -1,0 +1,35 @@
+type t = {
+  counts : (int, int ref) Hashtbl.t;
+  mutable total : int;
+}
+
+let create () = { counts = Hashtbl.create 257; total = 0 }
+
+let add_many t sym n =
+  if n < 0 then invalid_arg "Freq.add_many: negative count";
+  (match Hashtbl.find_opt t.counts sym with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.counts sym (ref n));
+  t.total <- t.total + n
+
+let add t sym = add_many t sym 1
+let count t sym = match Hashtbl.find_opt t.counts sym with Some r -> !r | None -> 0
+let total t = t.total
+let distinct t = Hashtbl.length t.counts
+
+let to_list t =
+  Hashtbl.fold (fun sym r acc -> (sym, !r) :: acc) t.counts []
+  |> List.sort (fun (s1, c1) (s2, c2) ->
+         if c1 <> c2 then compare c2 c1 else compare s1 s2)
+
+let iter f t = Hashtbl.iter (fun sym r -> f sym !r) t.counts
+
+let entropy_bits t =
+  if t.total = 0 then 0.
+  else
+    let n = float_of_int t.total in
+    Hashtbl.fold
+      (fun _ r acc ->
+        let p = float_of_int !r /. n in
+        acc -. (p *. (log p /. log 2.)))
+      t.counts 0.

@@ -1,0 +1,31 @@
+(** Symbol frequency histograms.
+
+    Symbols are plain integers; alphabets wider than an int field (e.g.
+    stream symbols that carry both value and width) are packed by the
+    caller.  The histogram feeds both Huffman tree construction and the
+    entropy bound the paper argues compression approaches (§2.2). *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+val add_many : t -> int -> int -> unit
+
+(** [count t sym] is 0 for unseen symbols. *)
+val count : t -> int -> int
+
+(** [total t] is the number of recorded occurrences. *)
+val total : t -> int
+
+(** [distinct t] is the alphabet size actually observed. *)
+val distinct : t -> int
+
+(** [to_list t] is the (symbol, count) list, sorted by decreasing count and
+    increasing symbol for equal counts (deterministic). *)
+val to_list : t -> (int * int) list
+
+val iter : (int -> int -> unit) -> t -> unit
+
+(** [entropy_bits t] is the Shannon entropy of the empirical distribution,
+    in bits per symbol; 0 for empty or single-symbol histograms. *)
+val entropy_bits : t -> float

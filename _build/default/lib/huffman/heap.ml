@@ -1,0 +1,69 @@
+type 'a entry = { prio : int; tie : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+let size t = t.size
+let is_empty t = t.size = 0
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.tie < b.tie)
+
+let ensure t =
+  let cap = Array.length t.data in
+  if t.size >= cap then begin
+    let dummy = t.data.(0) in
+    let data = Array.make (max 8 (2 * cap)) dummy in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let push t ~prio ~tie value =
+  let e = { prio; tie; value } in
+  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 8 e;
+  ensure t;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    less t.data.(!i) t.data.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = t.data.(p) in
+    t.data.(p) <- t.data.(!i);
+    t.data.(!i) <- tmp;
+    i := p
+  done
+
+let pop t =
+  if t.size = 0 then invalid_arg "Heap.pop: empty";
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+      if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = t.data.(!smallest) in
+        t.data.(!smallest) <- t.data.(!i);
+        t.data.(!i) <- tmp;
+        i := !smallest
+      end
+    done
+  end;
+  top.value
+
+let peek t = if t.size = 0 then None else Some t.data.(0).value

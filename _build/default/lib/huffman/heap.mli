@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by integer priority, with an integer tiebreak to
+    make Huffman tree construction fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push t ~prio ~tie v] inserts [v]. *)
+val push : 'a t -> prio:int -> tie:int -> 'a -> unit
+
+(** [pop t] removes the (prio, tie)-smallest element.
+    Raises [Invalid_argument] when empty. *)
+val pop : 'a t -> 'a
+
+val peek : 'a t -> 'a option

@@ -1,0 +1,86 @@
+type item = {
+  w : int;
+  content : content;
+}
+
+and content =
+  | Leaf of int
+  | Package of item * item
+
+let rec count_leaves tbl item =
+  match item.content with
+  | Leaf sym ->
+      let r =
+        match Hashtbl.find_opt tbl sym with
+        | Some r -> r
+        | None ->
+            let r = ref 0 in
+            Hashtbl.add tbl sym r;
+            r
+      in
+      incr r
+  | Package (a, b) ->
+      count_leaves tbl a;
+      count_leaves tbl b
+
+(* Pair adjacent items of a weight-sorted list, dropping a trailing odd
+   item. *)
+let package items =
+  let rec go acc = function
+    | a :: b :: rest ->
+        go ({ w = a.w + b.w; content = Package (a, b) } :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  go [] items
+
+let merge_by_weight a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs, y :: ys ->
+        if x.w <= y.w then go (x :: acc) xs b else go (y :: acc) a ys
+  in
+  go [] a b
+
+let lengths ~max_len freqs =
+  let n = List.length freqs in
+  if n = 0 then invalid_arg "Package_merge.lengths: empty alphabet";
+  if max_len < 1 then invalid_arg "Package_merge.lengths: max_len < 1";
+  List.iter
+    (fun (_, c) ->
+      if c <= 0 then invalid_arg "Package_merge.lengths: non-positive count")
+    freqs;
+  if max_len < 62 && n > 1 lsl max_len then
+    invalid_arg "Package_merge.lengths: alphabet too large for max_len";
+  if n = 1 then [ (fst (List.hd freqs), 1) ]
+  else begin
+    let leaves =
+      freqs
+      |> List.sort (fun (s1, c1) (s2, c2) ->
+             if c1 <> c2 then compare c1 c2 else compare s1 s2)
+      |> List.map (fun (s, c) -> { w = c; content = Leaf s })
+    in
+    (* lists.(i) for i = 1..max_len: merged list at depth budget i. *)
+    let current = ref leaves in
+    for _ = 2 to max_len do
+      current := merge_by_weight leaves (package !current)
+    done;
+    (* The optimal solution takes the first 2(n-1) items of the final
+       list; each occurrence of a leaf adds one to its code length. *)
+    let tbl = Hashtbl.create 97 in
+    let rec take k = function
+      | [] -> if k > 0 then invalid_arg "Package_merge.lengths: infeasible"
+      | item :: rest ->
+          if k > 0 then begin
+            count_leaves tbl item;
+            take (k - 1) rest
+          end
+    in
+    take (2 * (n - 1)) !current;
+    List.map
+      (fun (s, _) ->
+        match Hashtbl.find_opt tbl s with
+        | Some r -> (s, !r)
+        | None -> invalid_arg "Package_merge.lengths: symbol got no code")
+      freqs
+  end

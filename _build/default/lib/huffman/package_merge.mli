@@ -1,0 +1,13 @@
+(** Length-limited Huffman codes via the package-merge algorithm
+    (Larmore & Hirschberg).
+
+    The paper (§2.2) bounds code length so that codes stay compatible with
+    the IFetch hardware — the "Bounded Huffman" alternative of Wolfe [1].
+    Package-merge yields the optimal prefix code under a hard length cap. *)
+
+(** [lengths ~max_len freqs] assigns a code length to every symbol such
+    that no length exceeds [max_len] and the weighted total length is
+    minimal among such codes.  Requirements: non-empty, positive counts,
+    distinct symbols, and [2^max_len >= #symbols].
+    Raises [Invalid_argument] otherwise. *)
+val lengths : max_len:int -> (int * int) list -> (int * int) list

@@ -1,0 +1,55 @@
+type t =
+  | Leaf of { symbol : int; weight : int }
+  | Node of { left : t; right : t; weight : int }
+
+let weight = function Leaf { weight; _ } | Node { weight; _ } -> weight
+
+let build freqs =
+  if freqs = [] then invalid_arg "Tree.build: empty alphabet";
+  List.iter
+    (fun (_, c) -> if c <= 0 then invalid_arg "Tree.build: non-positive count")
+    freqs;
+  let seen = Hashtbl.create 97 in
+  List.iter
+    (fun (s, _) ->
+      if Hashtbl.mem seen s then invalid_arg "Tree.build: duplicate symbol";
+      Hashtbl.add seen s ())
+    freqs;
+  let heap = Heap.create () in
+  (* Deterministic construction: initial leaves tie-break on symbol value,
+     merged nodes on a monotonically increasing stamp that keeps them after
+     leaves of equal weight (the classic FIFO tie-break that minimizes code
+     length variance). *)
+  let sorted = List.sort (fun (s1, _) (s2, _) -> compare s1 s2) freqs in
+  List.iter
+    (fun (symbol, w) -> Heap.push heap ~prio:w ~tie:symbol (Leaf { symbol; weight = w }))
+    sorted;
+  let stamp = ref (1 lsl 50) in
+  while Heap.size heap > 1 do
+    let a = Heap.pop heap in
+    let b = Heap.pop heap in
+    let node = Node { left = a; right = b; weight = weight a + weight b } in
+    incr stamp;
+    Heap.push heap ~prio:(weight node) ~tie:!stamp node
+  done;
+  Heap.pop heap
+
+let depths t =
+  let acc = ref [] in
+  let rec go depth = function
+    | Leaf { symbol; _ } -> acc := (symbol, max 1 depth) :: !acc
+    | Node { left; right; _ } ->
+        go (depth + 1) left;
+        go (depth + 1) right
+  in
+  go 0 t;
+  List.rev !acc
+
+let max_depth t = List.fold_left (fun a (_, d) -> max a d) 0 (depths t)
+
+let weighted_length t =
+  let rec go depth = function
+    | Leaf { weight; _ } -> weight * max 1 depth
+    | Node { left; right; _ } -> go (depth + 1) left + go (depth + 1) right
+  in
+  go 0 t

@@ -1,0 +1,27 @@
+(** Huffman tree construction (Huffman 1952, the paper's reference [2]).
+
+    Produces optimal unbounded code lengths.  Length-limited codes for
+    IFetch-compatible decoders come from {!Package_merge} instead. *)
+
+type t =
+  | Leaf of { symbol : int; weight : int }
+  | Node of { left : t; right : t; weight : int }
+
+(** [build freqs] builds the tree from a (symbol, count) list.  Counts must
+    be positive; the list must be non-empty; symbols must be distinct.
+    Ties are broken deterministically (by symbol, then creation order). *)
+val build : (int * int) list -> t
+
+val weight : t -> int
+
+(** [depths t] maps each symbol to its code length.  A single-symbol tree
+    yields length 1 (a code must consume at least one bit per symbol for the
+    stream to be self-delimiting). *)
+val depths : t -> (int * int) list
+
+(** [max_depth t] is the longest code length. *)
+val max_depth : t -> int
+
+(** [weighted_length t] is [sum count_i * len_i] — total compressed bits
+    excluding table storage. *)
+val weighted_length : t -> int

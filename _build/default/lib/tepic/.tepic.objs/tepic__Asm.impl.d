@@ -1,0 +1,1 @@
+lib/tepic/asm.ml: Array Buffer List Mop Op Opcode Printf Program Reg String

@@ -1,0 +1,1 @@
+lib/tepic/asm.mli: Op Program

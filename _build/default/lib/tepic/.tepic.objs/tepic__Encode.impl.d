@@ -1,0 +1,1 @@
+lib/tepic/encode.ml: Bits Format_spec Hashtbl List Op Opcode Printf

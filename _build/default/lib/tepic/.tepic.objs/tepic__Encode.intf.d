@@ -1,0 +1,1 @@
+lib/tepic/encode.mli: Bits Op

@@ -1,0 +1,1 @@
+lib/tepic/field_stream.ml: Array Format_spec Hashtbl List Op Opcode Printf

@@ -1,0 +1,1 @@
+lib/tepic/field_stream.mli: Op Opcode

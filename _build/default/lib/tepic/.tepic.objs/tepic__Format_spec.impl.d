@@ -1,0 +1,1 @@
+lib/tepic/format_spec.ml: Format Hashtbl List Opcode Printf

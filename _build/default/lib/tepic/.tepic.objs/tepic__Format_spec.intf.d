@@ -1,0 +1,1 @@
+lib/tepic/format_spec.mli: Format Opcode

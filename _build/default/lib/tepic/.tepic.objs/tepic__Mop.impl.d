@@ -1,0 +1,1 @@
+lib/tepic/mop.ml: Format Format_spec List Op

@@ -1,0 +1,1 @@
+lib/tepic/mop.mli: Format Op

@@ -1,0 +1,1 @@
+lib/tepic/op.ml: Format Format_spec List Opcode Printf Reg

@@ -1,0 +1,1 @@
+lib/tepic/op.mli: Format Format_spec Opcode Reg

@@ -1,0 +1,1 @@
+lib/tepic/opcode.ml: Format List

@@ -1,0 +1,1 @@
+lib/tepic/opcode.mli: Format

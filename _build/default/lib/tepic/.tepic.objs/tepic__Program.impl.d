@@ -1,0 +1,1 @@
+lib/tepic/program.ml: Array Encode Format Format_spec List Mop Op Opcode Printf

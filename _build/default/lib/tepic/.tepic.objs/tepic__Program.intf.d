@@ -1,0 +1,1 @@
+lib/tepic/program.mli: Format Mop Op

@@ -1,0 +1,1 @@
+lib/tepic/reg.mli: Format

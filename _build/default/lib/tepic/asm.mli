@@ -1,0 +1,35 @@
+(** Textual TEPIC assembly — the TINKER-assembler substitute.
+
+    A regular, line-oriented syntax that round-trips exactly:
+    [parse_program (print_program p)] reconstructs [p] bit-for-bit.
+
+    {v
+    # program fir (5 blocks)
+    bb0:
+      ldi r9, #1024
+      ldi r10, #2048 ;;
+    bb2:
+      (p3) <s> add r5, r5, r8
+      lw r6, [r3] lat=2
+      brlc bb2 ctr=r2 ;;
+    v}
+
+    One op per line; [;;] marks the end of a MOP (the tail bit); [(pN)]
+    is the guard predicate; [<s>] the speculative bit; [key=val] trailers
+    carry the format's minor fields when they differ from their
+    constructor defaults.  FP memory ops print their FPR operand directly
+    ([lw f3, [r1]] means TCS = 1). *)
+
+(** [print_op op] — one line, without the newline. *)
+val print_op : Op.t -> string
+
+(** [print_program p] — full listing with block labels. *)
+val print_program : Program.t -> string
+
+(** [parse_op line] — parse a single op line (tail bit from [;;]).
+    Raises [Failure] with a location-free diagnostic on malformed input. *)
+val parse_op : string -> Op.t
+
+(** [parse_program text] — inverse of {!print_program}.
+    Raises [Failure] on malformed input. *)
+val parse_program : string -> Program.t

@@ -1,0 +1,49 @@
+let encode w op =
+  List.iter
+    (fun (fd, v) -> Bits.Writer.add_bits w ~width:fd.Format_spec.width v)
+    (Op.fields op)
+
+let decode r =
+  let start = Bits.Reader.pos r in
+  let tail = Bits.Reader.read_bits r ~width:1 in
+  let spec = Bits.Reader.read_bits r ~width:1 in
+  let opt = Bits.Reader.read_bits r ~width:2 in
+  let code = Bits.Reader.read_bits r ~width:5 in
+  ignore (tail, spec);
+  let opcode =
+    match Opcode.of_code (Opcode.optype_of_code opt) code with
+    | Some oc -> oc
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Encode.decode: undefined opcode point %d/%d" opt code)
+  in
+  let layout = Format_spec.layout (Opcode.kind opcode) in
+  (* Re-read the whole op through the format layout so that every field,
+     including the prefix we peeked at, lands in the table. *)
+  Bits.Reader.seek r start;
+  let tbl = Hashtbl.create 17 in
+  List.iter
+    (fun fd ->
+      Hashtbl.replace tbl fd.Format_spec.fname
+        (Bits.Reader.read_bits r ~width:fd.Format_spec.width))
+    layout;
+  Op.of_fields (Opcode.kind opcode) (Hashtbl.find tbl)
+
+let encode_ops ops =
+  let w = Bits.Writer.create ~initial_bytes:(5 * List.length ops + 1) () in
+  List.iter (encode w) ops;
+  Bits.Writer.contents w
+
+let decode_ops ~count s =
+  let r = Bits.Reader.of_string s in
+  List.init count (fun _ -> decode r)
+
+let to_int op =
+  List.fold_left
+    (fun acc (fd, v) -> (acc lsl fd.Format_spec.width) lor v)
+    0 (Op.fields op)
+
+let of_int v =
+  let w = Bits.Writer.create ~initial_bytes:5 () in
+  Bits.Writer.add_bits w ~width:Format_spec.op_bits v;
+  decode (Bits.Reader.of_string (Bits.Writer.contents w))

@@ -1,0 +1,25 @@
+(** Baseline 40-bit encoding of TEPIC operations (paper Table 2).
+
+    The baseline image stores each op in exactly 5 bytes; a block of [n] ops
+    occupies [5 n] bytes.  Decoding needs no context: the fixed T/S/OPT/
+    OPCODE prefix selects the format. *)
+
+(** [encode w op] appends the 40-bit image of [op] to [w]. *)
+val encode : Bits.Writer.t -> Op.t -> unit
+
+(** [decode r] reads one 40-bit op.  Raises [Invalid_argument] on an
+    undefined opcode point. *)
+val decode : Bits.Reader.t -> Op.t
+
+(** [encode_ops ops] is the byte image of a sequence of ops. *)
+val encode_ops : Op.t list -> string
+
+(** [decode_ops ~count s] decodes [count] ops from a byte image. *)
+val decode_ops : count:int -> string -> Op.t list
+
+(** [to_int op] is the 40-bit image as a single integer — the symbol used by
+    the full-op Huffman alphabet. *)
+val to_int : Op.t -> int
+
+(** [of_int v] decodes a 40-bit integer image. *)
+val of_int : int -> Op.t

@@ -1,0 +1,39 @@
+type t = Op.t list
+
+let issue_width = 6
+let mem_units = 2
+
+let set_tails ops =
+  let n = List.length ops in
+  List.mapi (fun i op -> Op.with_tail (i = n - 1) op) ops
+
+let make ops =
+  let n = List.length ops in
+  if n = 0 then invalid_arg "Mop.make: empty group";
+  if n > issue_width then invalid_arg "Mop.make: wider than issue width";
+  let mems = List.length (List.filter Op.is_memory ops) in
+  if mems > mem_units then invalid_arg "Mop.make: too many memory ops";
+  List.iteri
+    (fun i op ->
+      if Op.is_branch op && i <> n - 1 then
+        invalid_arg "Mop.make: branch must be the last op")
+    ops;
+  set_tails ops
+
+let ops t = t
+let size = List.length
+
+let branch t =
+  match List.rev t with
+  | last :: _ when Op.is_branch last -> Some last
+  | _ -> None
+
+let has_branch t = branch t <> None
+let bits_baseline t = Format_spec.op_bits * size t
+let map f t = make (List.map f t)
+let equal (a : t) b = List.length a = List.length b && List.for_all2 Op.equal a b
+
+let pp ppf t =
+  Format.fprintf ppf "[@[<hov>%a@]]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " |@ ") Op.pp)
+    t

@@ -1,0 +1,40 @@
+(** VLIW MultiOps (MOPs).
+
+    A MOP is the set of RISC-like ops issued in one cycle.  The zero-NOP
+    encoding (paper §2.1) stores only real ops: the {e tail bit} of the last
+    op marks the MOP boundary, so no NOPs ever reach memory.  The baseline
+    core is 6-issue with 2 universal (memory-capable) units; a branch ends
+    its MOP. *)
+
+type t
+
+(** Issue width of the baseline core. *)
+val issue_width : int
+
+(** Number of units able to execute memory operations. *)
+val mem_units : int
+
+(** [make ops] packs [ops] into one MOP, normalizing tail bits (set on the
+    last op only).  Raises [Invalid_argument] when the group violates issue
+    constraints: empty, wider than {!issue_width}, more than {!mem_units}
+    memory ops, or a branch that is not the last op. *)
+val make : Op.t list -> t
+
+(** Ops in issue order; the last op carries the tail bit. *)
+val ops : t -> Op.t list
+
+val size : t -> int
+val has_branch : t -> bool
+
+(** [branch t] is the terminating branch op, if any. *)
+val branch : t -> Op.t option
+
+(** [bits_baseline t] is the MOP's baseline image size: 40 bits per op. *)
+val bits_baseline : t -> int
+
+(** [map f t] rewrites each op; [f] must preserve op count and must not move
+    a branch away from the last slot. *)
+val map : (Op.t -> Op.t) -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type cls = Gpr | Fpr | Pr
+
+type t = { cls : cls; index : int }
+
+let file_size = 32
+
+let make cls index =
+  if index < 0 || index >= file_size then invalid_arg "Reg.make: index";
+  { cls; index }
+
+let gpr i = make Gpr i
+let fpr i = make Fpr i
+let pr i = make Pr i
+let p0 = pr 0
+let equal a b = a.cls = b.cls && a.index = b.index
+let compare = Stdlib.compare
+
+let cls_to_string = function Gpr -> "r" | Fpr -> "f" | Pr -> "p"
+let to_string r = Printf.sprintf "%s%d" (cls_to_string r.cls) r.index
+let pp ppf r = Format.pp_print_string ppf (to_string r)

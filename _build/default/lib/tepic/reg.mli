@@ -1,0 +1,30 @@
+(** Register files of the TEPIC core.
+
+    The baseline machine (paper §2.1) fixes 32 general-purpose registers,
+    32 floating-point registers and 32 one-bit predicate registers.  Register
+    operands in encoded operations are plain 5-bit indices; this module gives
+    them a class so the register allocator and the tailored encoder can
+    reason about per-class live counts. *)
+
+type cls = Gpr | Fpr | Pr
+
+type t = { cls : cls; index : int }
+
+(** Number of architectural registers in every class. *)
+val file_size : int
+
+(** [gpr i], [fpr i], [pr i] build a register, checking [0 <= i < 32]. *)
+val gpr : int -> t
+
+val fpr : int -> t
+val pr : int -> t
+
+(** [p0] is predicate register 0, hard-wired to true by convention; it is the
+    encoding of an unpredicated operation. *)
+val p0 : t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val cls_to_string : cls -> string

@@ -1,0 +1,1 @@
+lib/vliw_compiler/cfg.ml: Array Format Ir List Printf

@@ -1,0 +1,1 @@
+lib/vliw_compiler/cfg.mli: Format Ir

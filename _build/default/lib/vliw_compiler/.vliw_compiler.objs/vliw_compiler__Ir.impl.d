@@ -1,0 +1,1 @@
+lib/vliw_compiler/ir.ml: Format Option Tepic

@@ -1,0 +1,1 @@
+lib/vliw_compiler/ir.mli: Format Tepic

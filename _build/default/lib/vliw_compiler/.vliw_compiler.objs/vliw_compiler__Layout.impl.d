@@ -1,0 +1,1 @@
+lib/vliw_compiler/layout.ml: Cfg Ir List Lower Schedule Tepic

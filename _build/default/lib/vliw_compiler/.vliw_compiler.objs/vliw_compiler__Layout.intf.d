@@ -1,0 +1,1 @@
+lib/vliw_compiler/layout.mli: Schedule Tepic

@@ -1,0 +1,1 @@
+lib/vliw_compiler/liveness.ml: Array Cfg Ir List Set Stdlib

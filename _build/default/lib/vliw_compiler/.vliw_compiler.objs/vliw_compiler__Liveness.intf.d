@@ -1,0 +1,1 @@
+lib/vliw_compiler/liveness.mli: Cfg Ir Set

@@ -1,0 +1,1 @@
+lib/vliw_compiler/lower.ml: Cfg Ir Tepic

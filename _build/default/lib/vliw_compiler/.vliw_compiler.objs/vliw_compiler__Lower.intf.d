@@ -1,0 +1,1 @@
+lib/vliw_compiler/lower.mli: Cfg Ir Tepic

@@ -1,0 +1,1 @@
+lib/vliw_compiler/regalloc.ml: Array Cfg Int Ir List Liveness Map Printf Set Stdlib Tepic

@@ -1,0 +1,1 @@
+lib/vliw_compiler/regalloc.mli: Cfg Ir Tepic

@@ -1,0 +1,1 @@
+lib/vliw_compiler/schedule.ml: Array Cfg Fun Hashtbl Ir List Liveness Tepic Treegion

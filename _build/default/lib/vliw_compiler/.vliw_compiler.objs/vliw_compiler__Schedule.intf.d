@@ -1,0 +1,1 @@
+lib/vliw_compiler/schedule.mli: Cfg Ir

@@ -1,0 +1,1 @@
+lib/vliw_compiler/treegion.ml: Array Cfg Hashtbl List

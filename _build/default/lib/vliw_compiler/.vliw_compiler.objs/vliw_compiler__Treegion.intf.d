@@ -1,0 +1,1 @@
+lib/vliw_compiler/treegion.mli: Cfg

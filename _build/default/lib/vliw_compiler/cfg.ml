@@ -1,0 +1,122 @@
+type terminator =
+  | Fallthrough
+  | Jump of int
+  | Cond of { on_true : bool; pred : Ir.vreg; target : int }
+  | Loop of { counter : Ir.vreg; target : int }
+  | Call of { target : int; link : Ir.vreg }
+  | Return of { link : Ir.vreg }
+
+type bb = {
+  id : int;
+  insts : Ir.guarded list;
+  term : terminator;
+}
+
+type t = {
+  name : string;
+  entry : int;
+  blocks : bb array;
+}
+
+let target_of = function
+  | Jump t | Cond { target = t; _ } | Loop { target = t; _ }
+  | Call { target = t; _ } ->
+      Some t
+  | Fallthrough | Return _ -> None
+
+let make ~name ?(entry = 0) blocks =
+  let blocks = Array.of_list blocks in
+  let n = Array.length blocks in
+  if n = 0 then invalid_arg "Cfg.make: no blocks";
+  if entry < 0 || entry >= n then invalid_arg "Cfg.make: bad entry";
+  Array.iteri
+    (fun i b ->
+      if b.id <> i then invalid_arg "Cfg.make: block ids must be dense";
+      match target_of b.term with
+      | Some t when t < 0 || t >= n ->
+          invalid_arg (Printf.sprintf "Cfg.make: block %d targets %d" i t)
+      | Some _ | None -> ())
+    blocks;
+  { name; entry; blocks }
+
+let num_blocks t = Array.length t.blocks
+
+let block t id =
+  if id < 0 || id >= num_blocks t then invalid_arg "Cfg.block";
+  t.blocks.(id)
+
+let successors t id =
+  let b = block t id in
+  let fall = if id + 1 < num_blocks t then [ id + 1 ] else [] in
+  match b.term with
+  | Fallthrough -> fall
+  | Jump tgt -> [ tgt ]
+  | Cond { target; _ } | Loop { target; _ } -> target :: fall
+  | Call { target; _ } ->
+      (* The callee returns to the fall-through point, so both are dynamic
+         successors of the call block. *)
+      target :: fall
+  | Return _ -> []
+
+let predecessors t =
+  let preds = Array.make (num_blocks t) [] in
+  Array.iteri
+    (fun i _ ->
+      List.iter (fun s -> preds.(s) <- i :: preds.(s)) (successors t i))
+    t.blocks;
+  Array.map List.rev preds
+
+let term_uses = function
+  | Fallthrough | Jump _ -> []
+  | Cond { pred; _ } -> [ pred ]
+  | Loop { counter; _ } -> [ counter ]
+  | Call _ -> []
+  | Return { link } -> [ link ]
+
+let term_defs = function
+  | Loop { counter; _ } -> [ counter ]
+  | Call { link; _ } -> [ link ]
+  | Fallthrough | Jump _ | Cond _ | Return _ -> []
+
+let map_blocks f t = { t with blocks = Array.map f t.blocks }
+
+let map_term_vregs f = function
+  | Fallthrough -> Fallthrough
+  | Jump t -> Jump t
+  | Cond c -> Cond { c with pred = f c.pred }
+  | Loop l -> Loop { l with counter = f l.counter }
+  | Call c -> Call { c with link = f c.link }
+  | Return r -> Return { link = f r.link }
+
+let map_vregs f t =
+  map_blocks
+    (fun b ->
+      {
+        b with
+        insts = List.map (Ir.map_vregs f) b.insts;
+        term = map_term_vregs f b.term;
+      })
+    t
+
+let num_insts t =
+  Array.fold_left (fun a b -> a + List.length b.insts) 0 t.blocks
+
+let pp ppf t =
+  Format.fprintf ppf "cfg %s (%d blocks, %d insts)@." t.name (num_blocks t)
+    (num_insts t);
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "bb%d:@." b.id;
+      List.iter (fun g -> Format.fprintf ppf "  %a@." Ir.pp g) b.insts;
+      let term_str =
+        match b.term with
+        | Fallthrough -> "fallthrough"
+        | Jump t -> Printf.sprintf "jump bb%d" t
+        | Cond { on_true; target; _ } ->
+            Printf.sprintf "%s bb%d" (if on_true then "brct" else "brcf") target
+        | Loop { target; _ } -> Printf.sprintf "brlc bb%d" target
+        | Call { target; _ } -> Printf.sprintf "call bb%d" target
+        | Return _ -> "ret"
+      in
+      Format.fprintf ppf "  -> %s@." term_str)
+    t.blocks

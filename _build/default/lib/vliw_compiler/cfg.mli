@@ -1,0 +1,62 @@
+(** Control flow graphs of guarded IR instructions.
+
+    Blocks are basic blocks: straight-line instruction lists closed by a
+    single terminator.  Ids double as layout order — the fall-through
+    successor of block [i] is block [i+1] — which matches the original
+    (uncompressed) address space the ATT later translates. *)
+
+type terminator =
+  | Fallthrough  (** continue at block [id+1] *)
+  | Jump of int  (** unconditional branch *)
+  | Cond of {
+      on_true : bool;  (** [true] = BRCT, [false] = BRCF *)
+      pred : Ir.vreg;
+      target : int;
+    }  (** taken to [target], else fall through *)
+  | Loop of { counter : Ir.vreg; target : int }
+      (** BRLC: if counter > 0 then decrement and branch *)
+  | Call of { target : int; link : Ir.vreg }
+      (** BRL: record return point in [link], branch to [target] *)
+  | Return of { link : Ir.vreg }
+
+type bb = {
+  id : int;
+  insts : Ir.guarded list;
+  term : terminator;
+}
+
+type t = private {
+  name : string;
+  entry : int;
+  blocks : bb array;
+}
+
+(** [make ~name ~entry blocks] validates ids (dense, in order), branch
+    targets and entry.  Raises [Invalid_argument] on violation. *)
+val make : name:string -> ?entry:int -> bb list -> t
+
+val num_blocks : t -> int
+val block : t -> int -> bb
+
+(** [successors t id] — possible next blocks, taken target first. *)
+val successors : t -> int -> int list
+
+(** [predecessors t] — predecessor lists for all blocks, one array cell per
+    block. *)
+val predecessors : t -> int list array
+
+(** [term_uses term] — registers read by a terminator. *)
+val term_uses : terminator -> Ir.vreg list
+
+(** [term_defs term] — registers written by a terminator ([Loop] decrements
+    its counter; [Call] writes its link register). *)
+val term_defs : terminator -> Ir.vreg list
+
+val map_blocks : (bb -> bb) -> t -> t
+
+(** [map_vregs f t] rewrites every register in instructions and
+    terminators. *)
+val map_vregs : (Ir.vreg -> Ir.vreg) -> t -> t
+
+val num_insts : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+(** Final code layout: scheduled CFG to a TEPIC {!Tepic.Program}.
+
+    Block ids are preserved — they are the original address space the
+    ATT/ATB translates.  The terminator joins the block's last cycle when a
+    slot is free (branches may issue with other ops), otherwise it gets its
+    own MOP.  An empty fall-through block receives a single pad op so the
+    block stays fetchable. *)
+
+val build : Schedule.t -> Tepic.Program.t

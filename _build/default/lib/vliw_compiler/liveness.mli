@@ -1,0 +1,17 @@
+(** Classic backward liveness dataflow over a {!Cfg}. *)
+
+module VSet : Set.S with type elt = Ir.vreg
+
+type t = {
+  live_in : VSet.t array;
+  live_out : VSet.t array;
+}
+
+(** [analyze cfg] iterates to a fixed point.  Terminator uses and defs are
+    accounted for (a [Loop] counter is both used and redefined; a [Call]
+    defines its link register). *)
+val analyze : Cfg.t -> t
+
+(** [block_uses_defs bb] is [(uses, defs)] of a whole block, where [uses]
+    are registers read before any write inside the block. *)
+val block_uses_defs : Cfg.bb -> VSet.t * VSet.t

@@ -1,0 +1,41 @@
+let phys v = v.Ir.vid
+
+let lower_inst (g : Ir.guarded) =
+  let spec = g.Ir.spec in
+  let pred = match g.Ir.pred with Some p -> phys p | None -> 0 in
+  match g.Ir.inst with
+  | Ir.Alu { opcode; dst; src1; src2 } ->
+      Tepic.Op.alu ~spec ~pred ~opcode ~src1:(phys src1) ~src2:(phys src2)
+        ~dest:(phys dst) ()
+  | Ir.Ldi { dst; imm } -> Tepic.Op.ldi ~spec ~pred ~imm ~dest:(phys dst) ()
+  | Ir.Cmpp { opcode; dst; src1; src2 } ->
+      Tepic.Op.cmpp ~spec ~pred ~opcode ~src1:(phys src1) ~src2:(phys src2)
+        ~dest:(phys dst) ()
+  | Ir.Fpu { opcode; dst; src1; src2 } ->
+      Tepic.Op.fpu ~spec ~pred ~opcode ~src1:(phys src1) ~src2:(phys src2)
+        ~dest:(phys dst) ()
+  | Ir.Load { opcode; dst; addr; lat } ->
+      let tcs = if dst.Ir.vcls = Tepic.Reg.Fpr then 1 else 0 in
+      Tepic.Op.load ~spec ~pred ~tcs ~opcode ~src1:(phys addr) ~lat
+        ~dest:(phys dst) ()
+  | Ir.Store { opcode; addr; data } ->
+      let tcs = if data.Ir.vcls = Tepic.Reg.Fpr then 1 else 0 in
+      Tepic.Op.store ~spec ~pred ~tcs ~opcode ~src1:(phys addr)
+        ~src2:(phys data) ()
+
+let lower_term = function
+  | Cfg.Fallthrough -> None
+  | Cfg.Jump target -> Some (Tepic.Op.branch ~opcode:Tepic.Opcode.BR ~target ())
+  | Cfg.Cond { on_true; pred; target } ->
+      let opcode = if on_true then Tepic.Opcode.BRCT else Tepic.Opcode.BRCF in
+      Some (Tepic.Op.branch ~pred:(phys pred) ~opcode ~target ())
+  | Cfg.Loop { counter; target } ->
+      Some
+        (Tepic.Op.branch ~counter:(phys counter) ~opcode:Tepic.Opcode.BRLC
+           ~target ())
+  | Cfg.Call { target; link } ->
+      Some
+        (Tepic.Op.branch ~src1:(phys link) ~opcode:Tepic.Opcode.BRL ~target ())
+  | Cfg.Return { link } ->
+      Some
+        (Tepic.Op.branch ~src1:(phys link) ~opcode:Tepic.Opcode.RET ~target:0 ())

@@ -1,0 +1,10 @@
+(** Lowering from register-allocated IR to TEPIC operations. *)
+
+(** [lower_inst g] converts one guarded instruction.  All registers must be
+    physical (the allocator has run); immediates must fit their fields.
+    Raises [Invalid_argument] otherwise. *)
+val lower_inst : Ir.guarded -> Tepic.Op.t
+
+(** [lower_term term] is the branch op a terminator becomes, if any
+    ([Fallthrough] needs no op). *)
+val lower_term : Cfg.terminator -> Tepic.Op.t option

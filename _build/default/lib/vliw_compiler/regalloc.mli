@@ -1,0 +1,41 @@
+(** Linear-scan register allocation (Poletto & Sarkar style) with
+    spill-everywhere rewriting.
+
+    Runs before scheduling: the scheduler and everything downstream see
+    physical registers only.  The allocator works per register class and
+    per {e group}: the driver assigns every block to a group (in practice,
+    a function's call depth) and gives each group a disjoint register
+    window — our substitute for callee save/restore conventions (see
+    DESIGN.md).  Virtual registers never cross groups.
+
+    Registers referenced by block terminators (loop counters, links) are
+    never chosen as spill victims: a terminator cannot reload from memory.
+
+    After allocation every [Ir.vreg] in the CFG has [vid] equal to its
+    physical register index. *)
+
+type result = {
+  cfg : Cfg.t;  (** rewritten CFG over physical registers *)
+  spill_slots : int;  (** number of spill words used *)
+  max_live : (Tepic.Reg.cls * int) list;
+      (** peak simultaneous intervals per class — the quantity the tailored
+          encoder exploits *)
+}
+
+(** [allocate ~allowed ~group_of_block ~precolored ~spill_base cfg]:
+
+    - [allowed cls group] is the physical-index window for [cls] in
+      [group];
+    - [group_of_block id] assigns each block to a group (default: all 0);
+    - [precolored] maps specific vregs to fixed physical indices (link
+      registers); those indices must not appear in any window;
+    - [spill_base] is the first memory word address usable for spill slots.
+
+    Raises [Invalid_argument] if allocation cannot converge. *)
+val allocate :
+  allowed:(Tepic.Reg.cls -> int -> int list) ->
+  ?group_of_block:(int -> int) ->
+  ?precolored:(Ir.vreg * int) list ->
+  spill_base:int ->
+  Cfg.t ->
+  result

@@ -1,0 +1,33 @@
+(** List scheduling of IR blocks into VLIW cycles, with optional treegion
+    speculation.
+
+    The scheduler consumes a register-allocated CFG and emits, per block,
+    the list of issue cycles; each cycle holds at most {!Tepic.Mop.issue_width}
+    ops of which at most {!Tepic.Mop.mem_units} touch memory.  Dependences
+    follow VLIW read-old-values semantics: a WAR pair may share a cycle,
+    RAW respects producer latency, WAW needs at least one cycle.
+
+    With [speculate:true] (the default, matching the paper's treegion-
+    scheduled code), ops from a block's first cycle may be hoisted into the
+    parent block of its treegion when this is provably safe; hoisted ops are
+    marked speculative and lower to S-bit-set operations. *)
+
+type t = {
+  cfg : Cfg.t;
+  cycles : Ir.guarded list list array;  (** per block, in issue order *)
+  hoisted : int;  (** ops moved above a branch by speculation *)
+}
+
+(** [run ?speculate ?edge_profile cfg] — [edge_profile parent child] gives
+    the observed execution count of the (parent, child) edge; when present,
+    each parent donates to its {e hottest} eligible child (profile-guided
+    speculation, as the paper's treegion compiler does).  Without a
+    profile, children are tried in region order. *)
+val run : ?speculate:bool -> ?edge_profile:(int -> int -> int) -> Cfg.t -> t
+
+(** [block_cycles t id] — the schedule of one block. *)
+val block_cycles : t -> int -> Ir.guarded list list
+
+(** [ilp t] — mean ops per non-empty cycle over the whole program, the
+    schedule-density statistic. *)
+val ilp : t -> float

@@ -1,0 +1,71 @@
+type t = {
+  root : int;
+  members : int list;
+  parent : (int * int) list;
+}
+
+let form cfg =
+  let n = Cfg.num_blocks cfg in
+  let preds = Cfg.predecessors cfg in
+  let region_root = Array.make n (-1) in
+  let parents = Array.make n None in
+  for b = 0 to n - 1 do
+    match preds.(b) with
+    | [ p ]
+      when p < b
+           && region_root.(p) >= 0
+           && (* Entry block is always a root: control can arrive from
+                 outside the graph. *)
+           b <> cfg.Cfg.entry ->
+        region_root.(b) <- region_root.(p);
+        parents.(b) <- Some p
+    | _ -> region_root.(b) <- b
+  done;
+  let members = Hashtbl.create 17 in
+  for b = n - 1 downto 0 do
+    let r = region_root.(b) in
+    let cur = try Hashtbl.find members r with Not_found -> [] in
+    Hashtbl.replace members r (b :: cur)
+  done;
+  let roots =
+    List.sort_uniq compare
+      (List.init n (fun b -> region_root.(b)))
+  in
+  List.map
+    (fun root ->
+      let ms = Hashtbl.find members root in
+      let parent =
+        List.filter_map
+          (fun b ->
+            match parents.(b) with Some p -> Some (b, p) | None -> None)
+          ms
+      in
+      { root; members = ms; parent })
+    roots
+
+let region_of regions n =
+  let arr = Array.make n (-1) in
+  List.iteri
+    (fun i r -> List.iter (fun b -> arr.(b) <- i) r.members)
+    regions;
+  arr
+
+let parent_in_region regions block =
+  let rec go = function
+    | [] -> None
+    | r :: rest -> (
+        match List.assoc_opt block r.parent with
+        | Some p -> Some p
+        | None -> go rest)
+  in
+  go regions
+
+let stats regions =
+  let count = List.length regions in
+  let sizes = List.map (fun r -> List.length r.members) regions in
+  let largest = List.fold_left max 0 sizes in
+  let mean =
+    if count = 0 then 0.
+    else float_of_int (List.fold_left ( + ) 0 sizes) /. float_of_int count
+  in
+  (count, largest, mean)

@@ -1,0 +1,27 @@
+(** Treegion formation (Havanki/Banerjia/Conte, the paper's references
+    [4-6]).
+
+    A treegion is a single-entry tree of basic blocks connected by forward
+    edges: every non-root member has exactly one CFG predecessor, and that
+    predecessor is also in the region.  Treegions are the scope the
+    scheduler may speculate across (ops hoisted from a child block into its
+    parent get the S bit).  After scheduling the code decomposes back into
+    basic blocks, exactly as the paper describes (§3.1 note). *)
+
+type t = {
+  root : int;
+  members : int list;  (** includes the root, ascending block ids *)
+  parent : (int * int) list;  (** (block, its parent) for non-root members *)
+}
+
+(** [form cfg] partitions all blocks into treegions. *)
+val form : Cfg.t -> t list
+
+(** [region_of regions n] maps each block id to its region index. *)
+val region_of : t list -> int -> int array
+
+(** [parent_in_region regions block] is the in-region parent, if any. *)
+val parent_in_region : t list -> int -> int option
+
+(** [stats regions] is (region count, largest region, mean blocks/region). *)
+val stats : t list -> int * int * float

@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Cfg Ir List Profile Random Tepic Vliw_compiler

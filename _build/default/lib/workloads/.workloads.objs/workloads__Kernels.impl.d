@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Cfg Gen Ir List Vliw_compiler

@@ -1,0 +1,595 @@
+open Vliw_compiler
+
+type result = {
+  cfg : Cfg.t;
+  group_of_block : int -> int;
+  precolored : (Ir.vreg * int) list;
+  spill_base : int;
+}
+
+let link_register = 31
+
+(* Register windows.  Group 0 = main, group 1 = leaf callees.  GPR 31 is
+   the link register and belongs to no window. *)
+let window cls group =
+  let range lo hi = List.init (hi - lo + 1) (fun i -> lo + i) in
+  match (cls, group) with
+  | Tepic.Reg.Gpr, 0 -> range 0 17
+  | Tepic.Reg.Gpr, _ -> range 18 30
+  | Tepic.Reg.Fpr, 0 -> range 0 19
+  | Tepic.Reg.Fpr, _ -> range 20 31
+  | Tepic.Reg.Pr, 0 -> range 1 19
+  | Tepic.Reg.Pr, _ -> range 20 31
+
+(* ------------------------------------------------------------------ *)
+(* Block builder with forward-target patching.                         *)
+(* ------------------------------------------------------------------ *)
+
+type bblock = {
+  bid : int;
+  mutable rev_insts : Ir.guarded list;
+  mutable bterm : Cfg.terminator option;
+}
+
+type builder = {
+  mutable blocks : bblock list;  (* reversed *)
+  mutable nblocks : int;
+  mutable cur : bblock;
+  mutable groups : (int * int) list;  (* (block, group), reversed *)
+  mutable cur_group : int;
+  rng : Random.State.t;
+  prof : Profile.t;
+  mutable next_vid : int;
+  mutable calls : (bblock * int) list;  (* call site -> callee index *)
+}
+
+let new_block b =
+  let blk = { bid = b.nblocks; rev_insts = []; bterm = None } in
+  b.blocks <- blk :: b.blocks;
+  b.nblocks <- b.nblocks + 1;
+  b.groups <- (blk.bid, b.cur_group) :: b.groups;
+  blk
+
+let start_block b =
+  let blk = new_block b in
+  b.cur <- blk;
+  blk
+
+let emit b g = b.cur.rev_insts <- g :: b.cur.rev_insts
+
+(* Close the current block with a terminator whose target is already
+   known, and open a fresh block. *)
+let close b term =
+  assert (b.cur.bterm = None);
+  b.cur.bterm <- Some term;
+  start_block b
+
+(* Close with a forward branch: returns a setter to call once the target
+   id exists. *)
+let close_patched b mk =
+  let blk = b.cur in
+  assert (blk.bterm = None);
+  blk.bterm <- Some (mk 0);
+  ignore (start_block b);
+  fun target -> blk.bterm <- Some (mk target)
+
+let fresh b cls =
+  b.next_vid <- b.next_vid + 1;
+  { Ir.vcls = cls; vid = b.next_vid }
+
+(* ------------------------------------------------------------------ *)
+(* Random draws.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let roll b p = Random.State.float b.rng 1.0 < p
+
+let pick_weighted b table =
+  let total = List.fold_left (fun a (w, _) -> a +. w) 0. table in
+  let r = Random.State.float b.rng total in
+  let rec go acc = function
+    | [] -> snd (List.hd table)
+    | (w, x) :: rest -> if r < acc +. w then x else go (acc +. w) rest
+  in
+  go 0. table
+
+let alu_table : (float * Tepic.Opcode.t) list =
+  [
+    (35., ADD); (12., SUB); (8., AND); (7., OR); (5., XOR); (7., SHL);
+    (6., SHR); (2., SRA); (8., MUL); (6., MOV); (1., MIN); (1., MAX);
+    (1., ABS); (0.5, NAND); (0.5, NOR); (0.7, DIV); (0.3, REM);
+  ]
+
+let fpu_table : (float * Tepic.Opcode.t) list =
+  [
+    (30., FADD); (28., FMUL); (15., FSUB); (4., FDIV); (3., FABS);
+    (3., FNEG); (2., FMIN); (2., FMAX); (5., FMOV); (1., FSQRT);
+  ]
+
+let load_table : (float * Tepic.Opcode.t) list =
+  [ (70., LW); (15., LB); (10., LH); (5., LX) ]
+
+let store_table : (float * Tepic.Opcode.t) list =
+  [ (75., SW); (15., SB); (8., SH); (2., SX) ]
+
+let cmpp_table : (float * Tepic.Opcode.t) list =
+  [
+    (30., CMPP_LT); (20., CMPP_EQ); (15., CMPP_NE); (12., CMPP_GE);
+    (10., CMPP_LE); (8., CMPP_GT); (3., CMPP_LTU); (2., CMPP_GEU);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-function context.                                               *)
+(* ------------------------------------------------------------------ *)
+
+type fctx = {
+  group : int;
+  pool_i : Ir.vreg array;
+  pool_f : Ir.vreg array;
+  bases : Ir.vreg array;
+  lcg : Ir.vreg option;  (* data-dependent branch source; main only *)
+  lcg_a : Ir.vreg;  (* also the fixed-direction comparison constants *)
+  lcg_c : Ir.vreg;
+  mask : Ir.vreg option;
+}
+
+let pool_pick b (pool : Ir.vreg array) = pool.(Random.State.int b.rng (Array.length pool))
+
+(* Zipf-flavoured immediate pool: small indices much more likely. *)
+let imm_values b =
+  Array.init b.prof.Profile.imm_pool (fun i ->
+      if i = 0 then 0
+      else if i = 1 then 1
+      else
+        (* Embedded-code immediates are overwhelmingly small: geometric
+           magnitude, capped at 16 bits. *)
+        let mag = 2 + Random.State.int b.rng 15 in
+        Random.State.int b.rng (1 lsl (min 16 mag)))
+
+let pick_imm b (imms : int array) =
+  let n = Array.length imms in
+  let r = Random.State.float b.rng 1.0 in
+  imms.(int_of_float (float_of_int n *. r *. r))
+
+(* ------------------------------------------------------------------ *)
+(* Straight-line code.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Emits roughly [n] ops of straight-line code; returns actual count. *)
+let emit_straight b (f : fctx) imms n =
+  let emitted = ref 0 in
+  let tick k = emitted := !emitted + k in
+  while !emitted < n do
+    let p = b.prof in
+    if roll b p.Profile.mem_ratio then begin
+      (* Memory access: address = base + index, then load or store. *)
+      let a = fresh b Tepic.Reg.Gpr in
+      let base = pool_pick b f.bases in
+      let idx = pool_pick b f.pool_i in
+      emit b
+        (Ir.unguarded (Ir.Alu { opcode = ADD; dst = a; src1 = base; src2 = idx }));
+      if roll b 0.6 then
+        emit b
+          (Ir.unguarded
+             (Ir.Load
+                {
+                  opcode = pick_weighted b load_table;
+                  dst = pool_pick b f.pool_i;
+                  addr = a;
+                  lat = 2;
+                }))
+      else
+        emit b
+          (Ir.unguarded
+             (Ir.Store
+                {
+                  opcode = pick_weighted b store_table;
+                  addr = a;
+                  data = pool_pick b f.pool_i;
+                }));
+      tick 2
+    end
+    else if roll b p.Profile.fp_ratio then begin
+      (if roll b 0.12 then
+         let dst = pool_pick b f.pool_f in
+         emit b
+           (Ir.unguarded
+              (Ir.Fpu
+                 { opcode = ITOF; dst; src1 = pool_pick b f.pool_i; src2 = dst }))
+       else if roll b 0.08 then
+         let s = pool_pick b f.pool_f in
+         emit b
+           (Ir.unguarded
+              (Ir.Fpu
+                 { opcode = FTOI; dst = pool_pick b f.pool_i; src1 = s; src2 = s }))
+       else
+         emit b
+           (Ir.unguarded
+              (Ir.Fpu
+                 {
+                   opcode = pick_weighted b fpu_table;
+                   dst = pool_pick b f.pool_f;
+                   src1 = pool_pick b f.pool_f;
+                   src2 = pool_pick b f.pool_f;
+                 })));
+      tick 1
+    end
+    else if roll b 0.2 then begin
+      emit b
+        (Ir.unguarded
+           (Ir.Ldi { dst = pool_pick b f.pool_i; imm = pick_imm b imms }));
+      tick 1
+    end
+    else begin
+      emit b
+        (Ir.unguarded
+           (Ir.Alu
+              {
+                opcode = pick_weighted b alu_table;
+                dst = pool_pick b f.pool_i;
+                src1 = pool_pick b f.pool_i;
+                src2 = pool_pick b f.pool_i;
+              }));
+      tick 1
+    end
+  done;
+  !emitted
+
+(* ------------------------------------------------------------------ *)
+(* Conditions.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Emit code computing a predicate that is true with probability [bias].
+   Data-dependent ("noisy") conditions advance the in-program LCG; fixed
+   conditions compare two constants and always resolve the same way. *)
+let emit_cond b (f : fctx) ~noisy ~bias =
+  let p = fresh b Tepic.Reg.Pr in
+  (match (noisy, f.lcg, f.mask) with
+  | true, Some lcg, Some mask ->
+      let t = fresh b Tepic.Reg.Gpr in
+      let th = fresh b Tepic.Reg.Gpr in
+      emit b
+        (Ir.unguarded (Ir.Alu { opcode = MUL; dst = lcg; src1 = lcg; src2 = f.lcg_a }));
+      emit b
+        (Ir.unguarded (Ir.Alu { opcode = ADD; dst = lcg; src1 = lcg; src2 = f.lcg_c }));
+      emit b (Ir.unguarded (Ir.Alu { opcode = AND; dst = t; src1 = lcg; src2 = mask }));
+      emit b
+        (Ir.unguarded
+           (Ir.Ldi { dst = th; imm = max 0 (min 1023 (int_of_float (bias *. 1024.))) }));
+      emit b
+        (Ir.unguarded (Ir.Cmpp { opcode = CMPP_LT; dst = p; src1 = t; src2 = th }))
+  | _ ->
+      (* Fixed direction: choose a comparison over the constant registers
+         (lcg_a = 25173, lcg_c = 13849) whose statically-known outcome
+         matches the wanted direction.  The predictor learns these. *)
+      let want = roll b bias in
+      let opcode = pick_weighted b cmpp_table in
+      let eval op (x : int) (y : int) =
+        match (op : Tepic.Opcode.t) with
+        | CMPP_EQ -> x = y
+        | CMPP_NE -> x <> y
+        | CMPP_LT | CMPP_LTU -> x < y
+        | CMPP_LE -> x <= y
+        | CMPP_GT -> x > y
+        | CMPP_GE | CMPP_GEU -> x >= y
+        | _ -> assert false
+      in
+      let candidates =
+        [
+          (f.lcg_a, f.lcg_c, eval opcode 25173 13849);
+          (f.lcg_c, f.lcg_a, eval opcode 13849 25173);
+          (f.lcg_a, f.lcg_a, eval opcode 25173 25173);
+        ]
+      in
+      let src1, src2 =
+        match List.find_opt (fun (_, _, v) -> v = want) candidates with
+        | Some (s1, s2, _) -> (s1, s2)
+        | None ->
+            (* No operand order yields [want] for this opcode; fall back to
+               LT which can express both directions. *)
+            if want then (f.lcg_c, f.lcg_a) else (f.lcg_a, f.lcg_c)
+      in
+      let opcode =
+        match List.find_opt (fun (_, _, v) -> v = want) candidates with
+        | Some _ -> opcode
+        | None -> Tepic.Opcode.CMPP_LT
+      in
+      emit b (Ir.unguarded (Ir.Cmpp { opcode; dst = p; src1; src2 })));
+  p
+
+(* If-converted diamond: both arms predicated, no control flow. *)
+let emit_ifconverted b (f : fctx) imms ~noisy ~bias =
+  let p = emit_cond b f ~noisy ~bias in
+  let q = fresh b Tepic.Reg.Pr in
+  (* Complement predicate via the inverted comparison on the same inputs is
+     not reconstructible here, so compute it from p's definition pattern:
+     q = (0 = p ? ...) — instead, compare the same operands with the
+     complementary opcode by re-running the condition.  Cheaper and exact:
+     q := not p through CMPP_EQ on a masked LCG bit would need the operands;
+     we use the D1-style trick: guard the q-definition by p itself. *)
+  emit b
+    (Ir.unguarded
+       (Ir.Cmpp { opcode = CMPP_EQ; dst = q; src1 = f.lcg_a; src2 = f.lcg_a }));
+  emit b
+    (Ir.guarded ~pred:p
+       (Ir.Cmpp { opcode = CMPP_NE; dst = q; src1 = f.lcg_a; src2 = f.lcg_a }));
+  let arm pred n =
+    for _ = 1 to n do
+      if roll b 0.3 then
+        emit b
+          (Ir.guarded ~pred
+             (Ir.Ldi { dst = pool_pick b f.pool_i; imm = pick_imm b imms }))
+      else
+        emit b
+          (Ir.guarded ~pred
+             (Ir.Alu
+                {
+                  opcode = pick_weighted b alu_table;
+                  dst = pool_pick b f.pool_i;
+                  src1 = pool_pick b f.pool_i;
+                  src2 = pool_pick b f.pool_i;
+                }))
+    done
+  in
+  let n_then = 1 + Random.State.int b.rng 2 in
+  let n_else = 1 + Random.State.int b.rng 2 in
+  arm p n_then;
+  arm q n_else;
+  7 + n_then + n_else
+
+(* ------------------------------------------------------------------ *)
+(* Structured regions.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Emit an if-diamond with arbitrary arm generators. *)
+let emit_if b (f : fctx) ~noisy ~bias ~then_arm ~else_arm =
+  let p = emit_cond b f ~noisy ~bias in
+  (* BRCF p: branch to the else/join part when p is false. *)
+  let set_else =
+    close_patched b (fun target -> Cfg.Cond { on_true = false; pred = p; target })
+  in
+  then_arm ();
+  match else_arm with
+  | None ->
+      let set_join = close_patched b (fun target -> Cfg.Jump target) in
+      let join = b.cur.bid in
+      set_else join;
+      set_join join
+  | Some arm ->
+      let set_join = close_patched b (fun target -> Cfg.Jump target) in
+      set_else b.cur.bid;
+      arm ();
+      let set_join2 = close_patched b (fun target -> Cfg.Jump target) in
+      let join = b.cur.bid in
+      set_join join;
+      set_join2 join
+
+(* Emit a counted loop around [body].  Executes body [trip+1] times. *)
+let emit_loop b (_f : fctx) ~trip ~body =
+  let counter = fresh b Tepic.Reg.Gpr in
+  emit b (Ir.unguarded (Ir.Ldi { dst = counter; imm = trip }));
+  ignore (close b Cfg.Fallthrough);
+  let head = b.cur.bid in
+  body ();
+  ignore (close b (Cfg.Loop { counter; target = head }))
+
+(* ------------------------------------------------------------------ *)
+(* Function prologues.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Data regions: each function strides over a few array bases well below
+   the spill area. *)
+let spill_base_addr = 60000
+
+let emit_prologue b ~group ~with_lcg ~pool_size ~fp_pool_size ~seed_salt imms =
+  let pool_i = Array.init pool_size (fun _ -> fresh b Tepic.Reg.Gpr) in
+  let pool_f = Array.init fp_pool_size (fun _ -> fresh b Tepic.Reg.Fpr) in
+  let bases = Array.init 2 (fun _ -> fresh b Tepic.Reg.Gpr) in
+  let lcg_a = fresh b Tepic.Reg.Gpr in
+  let lcg_c = fresh b Tepic.Reg.Gpr in
+  Array.iteri
+    (fun i r -> emit b (Ir.unguarded (Ir.Ldi { dst = r; imm = pick_imm b imms + i })))
+    pool_i;
+  Array.iteri
+    (fun i r ->
+      emit b
+        (Ir.unguarded
+           (Ir.Ldi { dst = r; imm = (seed_salt * 8192) + (i * 2048) land 0xFFFF })))
+    bases;
+  emit b (Ir.unguarded (Ir.Ldi { dst = lcg_a; imm = 25173 }));
+  emit b (Ir.unguarded (Ir.Ldi { dst = lcg_c; imm = 13849 }));
+  let lcg, mask =
+    if with_lcg then begin
+      let lcg = fresh b Tepic.Reg.Gpr in
+      let mask = fresh b Tepic.Reg.Gpr in
+      emit b
+        (Ir.unguarded (Ir.Ldi { dst = lcg; imm = (12345 + (seed_salt * 977)) land 0xFFFFF }));
+      emit b (Ir.unguarded (Ir.Ldi { dst = mask; imm = 1023 }));
+      (Some lcg, Some mask)
+    end
+    else (None, None)
+  in
+  Array.iter
+    (fun r ->
+      let s = pool_i.(Random.State.int b.rng pool_size) in
+      emit b (Ir.unguarded (Ir.Fpu { opcode = ITOF; dst = r; src1 = s; src2 = r })))
+    pool_f;
+  { group; pool_i; pool_f; bases; lcg; lcg_a; lcg_c; mask }
+
+(* ------------------------------------------------------------------ *)
+(* Region emission with an op budget.                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Emits a region of roughly [budget] static ops with the profile's control
+   structure.  [nest] limits further loop nesting; [callees] are indices
+   callable from this region ([] for callee bodies and cold paths). *)
+let rec emit_region b (f : fctx) imms ~budget ?(cold = ref 0) ~nest ~callees ()
+    =
+  let p = b.prof in
+  let remaining = ref budget in
+  let spend k = remaining := !remaining - k in
+  while !remaining > 0 do
+    let run = max 2 (p.Profile.avg_block_ops + Random.State.int b.rng 5 - 2) in
+    spend (emit_straight b f imms (min run !remaining));
+    if !remaining > 0 then begin
+      let noisy = roll b p.Profile.noise && f.lcg <> None in
+      if roll b p.Profile.cond_density then begin
+        if
+          roll b p.Profile.if_convert
+          && (* if-conversion needs the guard predicates *) true
+        then spend (emit_ifconverted b f imms ~noisy ~bias:p.Profile.taken_bias)
+        else begin
+          (* Branching diamond: small arms. *)
+          let arm_budget = max 2 (min (!remaining / 4) (2 * p.Profile.avg_block_ops)) in
+          let has_else = roll b 0.5 in
+          let then_arm () =
+            spend
+              (emit_straight b f imms (max 2 (arm_budget / (if has_else then 2 else 1))))
+          in
+          let else_arm =
+            if has_else then
+              Some (fun () -> spend (emit_straight b f imms (max 2 (arm_budget / 2))))
+            else None
+          in
+          emit_if b f ~noisy ~bias:p.Profile.taken_bias ~then_arm ~else_arm;
+          spend 6
+        end
+      end
+      else if nest > 0 && !remaining > 6 * p.Profile.avg_block_ops && roll b 0.35
+      then begin
+        let trip = max 1 (p.Profile.inner_trip + Random.State.int b.rng 5 - 2) in
+        let body_budget = min !remaining (4 * p.Profile.avg_block_ops) in
+        emit_loop b f ~trip ~body:(fun () ->
+            emit_region b f imms ~budget:body_budget ~nest:(nest - 1) ~callees:[]
+              ());
+        spend (body_budget + 2)
+      end
+      else if !cold > 0 && roll b 0.3 then begin
+        (* Cold side path: a rarely-entered chunk of code, budgeted
+           separately so the profile's hot/cold split is honoured. *)
+        let chunk = min !cold (8 * p.Profile.avg_block_ops) in
+        cold := !cold - chunk;
+        let then_arm () =
+          emit_region b f imms ~budget:chunk ~nest:0 ~callees:[] ()
+        in
+        emit_if b f ~noisy:true ~bias:p.Profile.cold_bias ~then_arm ~else_arm:None
+      end
+      else if callees <> [] && roll b 0.4 then begin
+        let k = List.nth callees (Random.State.int b.rng (List.length callees)) in
+        let link = { Ir.vcls = Tepic.Reg.Gpr; vid = 9_000_000 } in
+        let blk = b.cur in
+        (* Placeholder target 0; patched once callee entries exist. *)
+        blk.bterm <- Some (Cfg.Call { target = 0; link });
+        b.calls <- (blk, k) :: b.calls;
+        ignore (start_block b);
+        spend 1
+      end
+    end
+  done
+
+let generate prof =
+  Profile.validate prof;
+  let rng = Random.State.make [| prof.Profile.seed; 0x7EB1C |] in
+  let first = { bid = 0; rev_insts = []; bterm = None } in
+  let b =
+    {
+      blocks = [ first ];
+      nblocks = 1;
+      cur = first;
+      groups = [ (0, 0) ];
+      cur_group = 0;
+      rng;
+      prof;
+      next_vid = 0;
+      calls = [];
+    }
+  in
+  let imms = imm_values b in
+  let link = { Ir.vcls = Tepic.Reg.Gpr; vid = 9_000_000 } in
+
+  (* --- main --- *)
+  let pool = min 7 prof.Profile.reg_pressure in
+  let f0 =
+    emit_prologue b ~group:0 ~with_lcg:true ~pool_size:pool
+      ~fp_pool_size:(max 3 (pool - 2)) ~seed_salt:1 imms
+  in
+  let total = prof.Profile.static_ops in
+  let hot_budget = int_of_float (float_of_int total *. prof.Profile.hot_fraction) in
+  let callee_budget =
+    if prof.Profile.num_callees = 0 then 0 else max 40 (total / 8)
+  in
+  let init_budget = max 10 (total / 20) in
+  let epilogue_budget = max 10 (total / 20) in
+  let cold_budget =
+    max 0 (total - hot_budget - callee_budget - init_budget - epilogue_budget)
+  in
+  (* once-run init code *)
+  emit_region b f0 imms ~budget:init_budget ~nest:0 ~callees:[] ();
+  (* the hot outer loop; cold paths hang off its body *)
+  let callees = List.init prof.Profile.num_callees (fun i -> i) in
+  let cold = ref cold_budget in
+  emit_loop b f0 ~trip:(prof.Profile.outer_trips - 1) ~body:(fun () ->
+      emit_region b f0 imms ~budget:hot_budget ~cold
+        ~nest:prof.Profile.loop_nest ~callees ());
+  (* epilogue, then jump over the callees to the halt block *)
+  emit_region b f0 imms ~budget:epilogue_budget ~nest:0 ~callees:[] ();
+  let set_halt = close_patched b (fun target -> Cfg.Jump target) in
+
+  (* --- callees --- *)
+  b.cur_group <- 1;
+  (* The first callee's entry block was opened by the close above, while
+     the group was still 0: re-tag it. *)
+  b.groups <- (b.cur.bid, 1) :: b.groups;
+  let callee_entries =
+    List.init prof.Profile.num_callees (fun i ->
+        (* The block opened by the previous close becomes the entry. *)
+        let entry = b.cur.bid in
+        let fc =
+          emit_prologue b ~group:1 ~with_lcg:false ~pool_size:4 ~fp_pool_size:3
+            ~seed_salt:(2 + i) imms
+        in
+        let each = max 30 (callee_budget / max 1 prof.Profile.num_callees) in
+        (* Give callees an optional small counted loop. *)
+        if roll b 0.6 then
+          emit_loop b fc ~trip:(max 1 (prof.Profile.inner_trip / 2))
+            ~body:(fun () ->
+              emit_region b fc imms ~budget:(each / 2) ~nest:0 ~callees:[] ())
+        else ();
+        emit_region b fc imms
+          ~budget:(max 10 (each / 2))
+          ~nest:0 ~callees:[] ();
+        ignore (close b (Cfg.Return { link }));
+        entry)
+  in
+
+  (* --- halt block --- *)
+  let halt = b.cur.bid in
+  b.cur.bterm <- Some Cfg.Fallthrough;
+  set_halt halt;
+
+  (* Patch call targets. *)
+  let entries = Array.of_list callee_entries in
+  List.iter
+    (fun (blk, k) -> blk.bterm <- Some (Cfg.Call { target = entries.(k); link }))
+    b.calls;
+
+  (* Finalize. *)
+  let blocks =
+    List.rev_map
+      (fun blk ->
+        {
+          Cfg.id = blk.bid;
+          insts = List.rev blk.rev_insts;
+          term = (match blk.bterm with Some t -> t | None -> Cfg.Fallthrough);
+        })
+      b.blocks
+  in
+  let cfg = Cfg.make ~name:prof.Profile.name blocks in
+  let group_tbl = Array.make b.nblocks 0 in
+  (* b.groups is newest-first; apply oldest-first so re-tags win. *)
+  List.iter (fun (blk, g) -> group_tbl.(blk) <- g) (List.rev b.groups);
+  {
+    cfg;
+    group_of_block = (fun i -> group_tbl.(i));
+    precolored = [ (link, link_register) ];
+    spill_base = spill_base_addr;
+  }

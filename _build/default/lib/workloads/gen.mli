@@ -1,0 +1,35 @@
+(** Seeded synthetic benchmark generator.
+
+    Materializes a {!Profile} into a whole-program CFG: a main function
+    whose hot outer loop encloses straight-line code, data-dependent and
+    fixed-direction conditionals, counted inner loops, cold side paths and
+    calls to leaf callee functions.  Data-dependent branch outcomes come
+    from an in-program linear congruential generator, so the emulated trace
+    has genuinely data-driven control flow while remaining deterministic.
+
+    The result carries everything the compiler driver needs: the register
+    window group of every block (main = group 0, callees = group 1) and
+    the precolored link register used by call sites. *)
+
+type result = {
+  cfg : Vliw_compiler.Cfg.t;
+  group_of_block : int -> int;
+  precolored : (Vliw_compiler.Ir.vreg * int) list;
+  spill_base : int;  (** first memory word free for spill slots *)
+}
+
+(** [generate profile] — deterministic in [profile.seed].
+    Raises [Invalid_argument] if the profile fails {!Profile.validate}. *)
+val generate : Profile.t -> result
+
+(** Register windows used by generated code, exposed for the driver:
+    [window cls group] lists the physical registers group [group] may use.
+    Group 0 is the main function, group 1 the leaf callees.  GPR 31 is the
+    reserved link register and belongs to no window. *)
+val window : Tepic.Reg.cls -> int -> int list
+
+(** The physical link register for calls (GPR 31). *)
+val link_register : int
+
+(** First memory word reserved for spill slots in generated programs. *)
+val spill_base_addr : int

@@ -1,0 +1,280 @@
+open Vliw_compiler
+
+(* Kernels are straight-line IR written against virtual registers; they use
+   only group 0 and make no calls. *)
+
+let g = Ir.vgpr
+let f = Ir.vfpr
+
+let pack cfg =
+  {
+    Gen.cfg;
+    group_of_block = (fun _ -> 0);
+    precolored = [];
+    spill_base = Gen.spill_base_addr;
+  }
+
+let bb id insts term = { Cfg.id; insts = List.map Ir.unguarded insts; term }
+
+(* FIR filter: out[i] = sum_j x[i+j] * c[j].
+   r1 = i counter, r2 = j counter, r3 = &x[i+j], r4 = &c[j], r5 = acc,
+   r6..r8 = temps, r9 = x base, r10 = c base, r11 = out base, r12 = &out[i],
+   r13 = one. *)
+let fir ~taps ~samples =
+  if taps < 1 || samples < 1 then invalid_arg "Kernels.fir";
+  let blocks =
+    [
+      bb 0
+        [
+          Ir.Ldi { dst = g 9; imm = 1024 };
+          Ir.Ldi { dst = g 10; imm = 2048 };
+          Ir.Ldi { dst = g 11; imm = 3072 };
+          Ir.Ldi { dst = g 13; imm = 1 };
+          Ir.Ldi { dst = g 12; imm = 3072 };
+          Ir.Ldi { dst = g 1; imm = samples - 1 };
+        ]
+        Cfg.Fallthrough;
+      (* outer loop head: reset accumulator and tap pointers *)
+      bb 1
+        [
+          Ir.Ldi { dst = g 5; imm = 0 };
+          Ir.Alu { opcode = MOV; dst = g 3; src1 = g 12; src2 = g 12 };
+          Ir.Alu { opcode = SUB; dst = g 3; src1 = g 3; src2 = g 11 };
+          Ir.Alu { opcode = ADD; dst = g 3; src1 = g 3; src2 = g 9 };
+          Ir.Alu { opcode = MOV; dst = g 4; src1 = g 10; src2 = g 10 };
+          Ir.Ldi { dst = g 2; imm = taps - 1 };
+        ]
+        Cfg.Fallthrough;
+      (* inner loop: acc += x[.] * c[.] *)
+      bb 2
+        [
+          Ir.Load { opcode = LW; dst = g 6; addr = g 3; lat = 2 };
+          Ir.Load { opcode = LW; dst = g 7; addr = g 4; lat = 2 };
+          Ir.Alu { opcode = MUL; dst = g 8; src1 = g 6; src2 = g 7 };
+          Ir.Alu { opcode = ADD; dst = g 5; src1 = g 5; src2 = g 8 };
+          Ir.Alu { opcode = ADD; dst = g 3; src1 = g 3; src2 = g 13 };
+          Ir.Alu { opcode = ADD; dst = g 4; src1 = g 4; src2 = g 13 };
+        ]
+        (Cfg.Loop { counter = g 2; target = 2 });
+      (* store result, advance output pointer *)
+      bb 3
+        [
+          Ir.Store { opcode = SW; addr = g 12; data = g 5 };
+          Ir.Alu { opcode = ADD; dst = g 12; src1 = g 12; src2 = g 13 };
+        ]
+        (Cfg.Loop { counter = g 1; target = 1 });
+      bb 4 [ Ir.Alu { opcode = MOV; dst = g 6; src1 = g 5; src2 = g 5 } ] Cfg.Fallthrough;
+    ]
+  in
+  pack (Cfg.make ~name:"fir" blocks)
+
+(* Dot product with a float accumulator alongside the integer one. *)
+let dot_product ~n ~reps =
+  if n < 1 || reps < 1 then invalid_arg "Kernels.dot_product";
+  let blocks =
+    [
+      bb 0
+        [
+          Ir.Ldi { dst = g 9; imm = 1024 };
+          Ir.Ldi { dst = g 10; imm = 4096 };
+          Ir.Ldi { dst = g 13; imm = 1 };
+          Ir.Ldi { dst = g 1; imm = reps - 1 };
+        ]
+        Cfg.Fallthrough;
+      bb 1
+        [
+          Ir.Ldi { dst = g 5; imm = 0 };
+          Ir.Alu { opcode = MOV; dst = g 3; src1 = g 9; src2 = g 9 };
+          Ir.Alu { opcode = MOV; dst = g 4; src1 = g 10; src2 = g 10 };
+          Ir.Fpu { opcode = ITOF; dst = f 1; src1 = g 5; src2 = f 1 };
+          Ir.Ldi { dst = g 2; imm = n - 1 };
+        ]
+        Cfg.Fallthrough;
+      bb 2
+        [
+          Ir.Load { opcode = LW; dst = g 6; addr = g 3; lat = 2 };
+          Ir.Load { opcode = LW; dst = g 7; addr = g 4; lat = 2 };
+          Ir.Alu { opcode = MUL; dst = g 8; src1 = g 6; src2 = g 7 };
+          Ir.Alu { opcode = ADD; dst = g 5; src1 = g 5; src2 = g 8 };
+          Ir.Fpu { opcode = ITOF; dst = f 2; src1 = g 8; src2 = f 2 };
+          Ir.Fpu { opcode = FADD; dst = f 1; src1 = f 1; src2 = f 2 };
+          Ir.Alu { opcode = ADD; dst = g 3; src1 = g 3; src2 = g 13 };
+          Ir.Alu { opcode = ADD; dst = g 4; src1 = g 4; src2 = g 13 };
+        ]
+        (Cfg.Loop { counter = g 2; target = 2 });
+      bb 3
+        [
+          Ir.Store { opcode = SW; addr = g 9; data = g 5 };
+          Ir.Fpu { opcode = FTOI; dst = g 6; src1 = f 1; src2 = f 1 };
+          Ir.Store { opcode = SW; addr = g 10; data = g 6 };
+        ]
+        (Cfg.Loop { counter = g 1; target = 1 });
+      bb 4 [ Ir.Alu { opcode = MOV; dst = g 6; src1 = g 5; src2 = g 5 } ] Cfg.Fallthrough;
+    ]
+  in
+  pack (Cfg.make ~name:"dot_product" blocks)
+
+(* Strided copy with a data-dependent clamp: dst[i] = min(src[i], 255). *)
+let stride_copy ~words ~reps =
+  if words < 1 || reps < 1 then invalid_arg "Kernels.stride_copy";
+  let blocks =
+    [
+      bb 0
+        [
+          Ir.Ldi { dst = g 9; imm = 1024 };
+          Ir.Ldi { dst = g 10; imm = 8192 };
+          Ir.Ldi { dst = g 13; imm = 2 };
+          Ir.Ldi { dst = g 12; imm = 255 };
+          Ir.Ldi { dst = g 1; imm = reps - 1 };
+        ]
+        Cfg.Fallthrough;
+      bb 1
+        [
+          Ir.Alu { opcode = MOV; dst = g 3; src1 = g 9; src2 = g 9 };
+          Ir.Alu { opcode = MOV; dst = g 4; src1 = g 10; src2 = g 10 };
+          Ir.Ldi { dst = g 2; imm = words - 1 };
+        ]
+        Cfg.Fallthrough;
+      bb 2
+        [
+          Ir.Load { opcode = LW; dst = g 6; addr = g 3; lat = 2 };
+          Ir.Alu { opcode = MIN; dst = g 6; src1 = g 6; src2 = g 12 };
+          Ir.Store { opcode = SW; addr = g 4; data = g 6 };
+          Ir.Alu { opcode = ADD; dst = g 3; src1 = g 3; src2 = g 13 };
+          Ir.Alu { opcode = ADD; dst = g 4; src1 = g 4; src2 = g 13 };
+        ]
+        (Cfg.Loop { counter = g 2; target = 2 });
+      bb 3
+        [ Ir.Store { opcode = SW; addr = g 9; data = g 3 } ]
+        (Cfg.Loop { counter = g 1; target = 1 });
+      bb 4 [ Ir.Alu { opcode = MOV; dst = g 6; src1 = g 3; src2 = g 3 } ] Cfg.Fallthrough;
+    ]
+  in
+  pack (Cfg.make ~name:"stride_copy" blocks)
+
+
+(* Dense n x n integer matrix multiply: C = A * B, classic triple loop.
+   r20 = n, r13 = 1, bases A/B/C in r9/r10/r11; i in r14, j in r15,
+   accumulator r5, pointers r3 (A row walk) and r4 (B column walk). *)
+let matmul ~n ~reps =
+  if n < 1 || reps < 1 then invalid_arg "Kernels.matmul";
+  let blocks =
+    [
+      bb 0
+        [
+          Ir.Ldi { dst = g 9; imm = 1024 };
+          Ir.Ldi { dst = g 10; imm = 4096 };
+          Ir.Ldi { dst = g 11; imm = 8192 };
+          Ir.Ldi { dst = g 13; imm = 1 };
+          Ir.Ldi { dst = g 20; imm = n };
+          Ir.Ldi { dst = g 8; imm = reps - 1 };
+        ]
+        Cfg.Fallthrough;
+      (* rep head: i = 0, outer counter *)
+      bb 1
+        [
+          Ir.Ldi { dst = g 14; imm = 0 };
+          Ir.Ldi { dst = g 1; imm = n - 1 };
+        ]
+        Cfg.Fallthrough;
+      (* i head: j = 0, middle counter *)
+      bb 2
+        [
+          Ir.Ldi { dst = g 15; imm = 0 };
+          Ir.Ldi { dst = g 2; imm = n - 1 };
+        ]
+        Cfg.Fallthrough;
+      (* j head: acc = 0; aptr = A + i*n; bptr = B + j; inner counter *)
+      bb 3
+        [
+          Ir.Ldi { dst = g 5; imm = 0 };
+          Ir.Alu { opcode = MUL; dst = g 6; src1 = g 14; src2 = g 20 };
+          Ir.Alu { opcode = ADD; dst = g 3; src1 = g 9; src2 = g 6 };
+          Ir.Alu { opcode = ADD; dst = g 4; src1 = g 10; src2 = g 15 };
+          Ir.Ldi { dst = g 7; imm = n - 1 };
+        ]
+        Cfg.Fallthrough;
+      (* inner: acc += A[i][k] * B[k][j]; aptr++; bptr += n *)
+      bb 4
+        [
+          Ir.Load { opcode = LW; dst = g 16; addr = g 3; lat = 2 };
+          Ir.Load { opcode = LW; dst = g 17; addr = g 4; lat = 2 };
+          Ir.Alu { opcode = MUL; dst = g 18; src1 = g 16; src2 = g 17 };
+          Ir.Alu { opcode = ADD; dst = g 5; src1 = g 5; src2 = g 18 };
+          Ir.Alu { opcode = ADD; dst = g 3; src1 = g 3; src2 = g 13 };
+          Ir.Alu { opcode = ADD; dst = g 4; src1 = g 4; src2 = g 20 };
+        ]
+        (Cfg.Loop { counter = g 7; target = 4 });
+      (* store C[i][j]; j++ *)
+      bb 5
+        [
+          Ir.Alu { opcode = MUL; dst = g 6; src1 = g 14; src2 = g 20 };
+          Ir.Alu { opcode = ADD; dst = g 6; src1 = g 6; src2 = g 15 };
+          Ir.Alu { opcode = ADD; dst = g 6; src1 = g 11; src2 = g 6 };
+          Ir.Store { opcode = SW; addr = g 6; data = g 5 };
+          Ir.Alu { opcode = ADD; dst = g 15; src1 = g 15; src2 = g 13 };
+        ]
+        (Cfg.Loop { counter = g 2; target = 3 });
+      (* i++ *)
+      bb 6
+        [ Ir.Alu { opcode = ADD; dst = g 14; src1 = g 14; src2 = g 13 } ]
+        (Cfg.Loop { counter = g 1; target = 2 });
+      bb 7
+        [ Ir.Alu { opcode = MOV; dst = g 6; src1 = g 5; src2 = g 5 } ]
+        (Cfg.Loop { counter = g 8; target = 1 });
+      bb 8 [ Ir.Store { opcode = SW; addr = g 11; data = g 5 } ] Cfg.Fallthrough;
+    ]
+  in
+  pack (Cfg.make ~name:"matmul" blocks)
+
+(* Branch-free CRC-style LFSR over a memory window: per word,
+   crc = (crc >> 1) xor ((-(crc & 1)) & poly) xor data.  r5 = crc,
+   r12 = poly, r6 = data, r7/r16/r17 = temps, r0 = zero. *)
+let crc32 ~words ~reps =
+  if words < 1 || reps < 1 then invalid_arg "Kernels.crc32";
+  let blocks =
+    [
+      bb 0
+        [
+          Ir.Ldi { dst = g 9; imm = 1024 };
+          Ir.Ldi { dst = g 13; imm = 1 };
+          Ir.Ldi { dst = g 12; imm = 470228 };  (* poly, 20-bit *)
+          Ir.Ldi { dst = g 0; imm = 0 };
+          Ir.Ldi { dst = g 5; imm = 65535 };  (* crc seed *)
+          Ir.Ldi { dst = g 1; imm = reps - 1 };
+        ]
+        Cfg.Fallthrough;
+      bb 1
+        [
+          Ir.Alu { opcode = MOV; dst = g 3; src1 = g 9; src2 = g 9 };
+          Ir.Ldi { dst = g 2; imm = words - 1 };
+        ]
+        Cfg.Fallthrough;
+      bb 2
+        [
+          Ir.Load { opcode = LW; dst = g 6; addr = g 3; lat = 2 };
+          Ir.Alu { opcode = AND; dst = g 7; src1 = g 5; src2 = g 13 };
+          Ir.Alu { opcode = SUB; dst = g 16; src1 = g 0; src2 = g 7 };
+          Ir.Alu { opcode = AND; dst = g 16; src1 = g 16; src2 = g 12 };
+          Ir.Alu { opcode = SHR; dst = g 17; src1 = g 5; src2 = g 13 };
+          Ir.Alu { opcode = XOR; dst = g 5; src1 = g 17; src2 = g 16 };
+          Ir.Alu { opcode = XOR; dst = g 5; src1 = g 5; src2 = g 6 };
+          Ir.Alu { opcode = ADD; dst = g 3; src1 = g 3; src2 = g 13 };
+        ]
+        (Cfg.Loop { counter = g 2; target = 2 });
+      bb 3
+        [ Ir.Store { opcode = SW; addr = g 9; data = g 5 } ]
+        (Cfg.Loop { counter = g 1; target = 1 });
+      bb 4 [ Ir.Alu { opcode = MOV; dst = g 6; src1 = g 5; src2 = g 5 } ] Cfg.Fallthrough;
+    ]
+  in
+  pack (Cfg.make ~name:"crc32" blocks)
+
+let all =
+  [
+    ("fir", lazy (fir ~taps:16 ~samples:256));
+    ("dot_product", lazy (dot_product ~n:64 ~reps:200));
+    ("stride_copy", lazy (stride_copy ~words:128 ~reps:200));
+    ("matmul", lazy (matmul ~n:12 ~reps:40));
+    ("crc32", lazy (crc32 ~words:256 ~reps:120));
+  ]

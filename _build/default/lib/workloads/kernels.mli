@@ -1,0 +1,31 @@
+(** Hand-written DSP kernels in IR form.
+
+    The paper argues (§4) that tight DSP loops fit entirely in the 32-op L0
+    buffer, making the compressed cache perform like an uncompressed one on
+    kernel code.  These kernels exist to demonstrate exactly that in the
+    examples and tests: each is a small counted loop over memory.
+
+    Each kernel returns the same driver-ready package as {!Gen}. *)
+
+(** [fir ~taps ~samples] — finite impulse response filter: for each of
+    [samples] outputs, accumulate [taps] multiply-adds over a sliding
+    window. *)
+val fir : taps:int -> samples:int -> Gen.result
+
+(** [dot_product ~n ~reps] — integer+float dot product over [n]-element
+    vectors, repeated [reps] times. *)
+val dot_product : n:int -> reps:int -> Gen.result
+
+(** [stride_copy ~words ~reps] — strided memory copy with a data-dependent
+    saturation test, repeated [reps] times. *)
+val stride_copy : words:int -> reps:int -> Gen.result
+
+(** [matmul ~n ~reps] — dense n x n integer matrix multiply (classic triple
+    loop), repeated [reps] times. *)
+val matmul : n:int -> reps:int -> Gen.result
+
+(** [crc32 ~words ~reps] — branch-free LFSR checksum over a memory window
+    (the CRC folded into arithmetic, as optimizing compilers emit it). *)
+val crc32 : words:int -> reps:int -> Gen.result
+
+val all : (string * Gen.result Lazy.t) list

@@ -1,0 +1,62 @@
+type t = {
+  name : string;
+  seed : int;
+  static_ops : int;
+  hot_fraction : float;
+  avg_block_ops : int;
+  loop_nest : int;
+  inner_trip : int;
+  outer_trips : int;
+  dyn_ops_target : int;
+  num_callees : int;
+  cond_density : float;
+  taken_bias : float;
+  noise : float;
+  if_convert : float;
+  cold_bias : float;
+  fp_ratio : float;
+  mem_ratio : float;
+  imm_pool : int;
+  reg_pressure : int;
+}
+
+let check_unit name v =
+  if v < 0. || v > 1. then
+    invalid_arg (Printf.sprintf "Profile: %s must be in [0,1]: %f" name v)
+
+let validate t =
+  if t.static_ops < 50 then invalid_arg "Profile: static_ops too small";
+  if t.avg_block_ops < 2 then invalid_arg "Profile: avg_block_ops < 2";
+  if t.loop_nest < 0 || t.loop_nest > 4 then invalid_arg "Profile: loop_nest";
+  if t.inner_trip < 1 then invalid_arg "Profile: inner_trip < 1";
+  if t.outer_trips < 1 then invalid_arg "Profile: outer_trips < 1";
+  if t.dyn_ops_target < 1000 then invalid_arg "Profile: dyn_ops_target < 1000";
+  if t.num_callees < 0 || t.num_callees > 8 then
+    invalid_arg "Profile: num_callees";
+  if t.imm_pool < 1 then invalid_arg "Profile: imm_pool < 1";
+  if t.reg_pressure < 3 || t.reg_pressure > 12 then
+    invalid_arg "Profile: reg_pressure out of [3,12]";
+  check_unit "hot_fraction" t.hot_fraction;
+  check_unit "cond_density" t.cond_density;
+  check_unit "taken_bias" t.taken_bias;
+  check_unit "noise" t.noise;
+  check_unit "if_convert" t.if_convert;
+  check_unit "cold_bias" t.cold_bias;
+  check_unit "fp_ratio" t.fp_ratio;
+  check_unit "mem_ratio" t.mem_ratio;
+  if t.fp_ratio +. t.mem_ratio > 0.9 then
+    invalid_arg "Profile: fp_ratio + mem_ratio too high"
+
+let scale ~factor t =
+  if factor <= 0. then invalid_arg "Profile.scale: factor";
+  {
+    t with
+    static_ops = max 50 (int_of_float (float_of_int t.static_ops *. factor));
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d ops (%.0f%% hot), trips %dx%d, noise %.2f, fp %.2f, mem %.2f"
+    t.name t.static_ops
+    (100. *. t.hot_fraction)
+    t.outer_trips t.inner_trip t.noise t.fp_ratio t.mem_ratio

@@ -1,0 +1,49 @@
+(** Statistical profiles driving the synthetic benchmark generator.
+
+    The original study compiled SPECint95 with the LEGO compiler; those
+    binaries and that compiler are not available, so each benchmark is
+    replaced by a seeded synthetic program whose three decisive
+    characteristics are controlled per profile (see DESIGN.md):
+
+    - {e code-stream entropy} (opcode mix, immediate pool, operand reuse)
+      — drives every compression ratio (Figure 5);
+    - {e hot working-set size vs ICache capacity} — drives the capacity
+      advantage of caching compressed code (Figure 13);
+    - {e branch predictability} — drives the extra misprediction penalty the
+      compressed pipeline pays (Figure 13, the four losing benchmarks). *)
+
+type t = {
+  name : string;
+  seed : int;
+  (* Static shape *)
+  static_ops : int;  (** target IR op count for the whole program *)
+  hot_fraction : float;  (** share of static ops inside the main loop *)
+  avg_block_ops : int;  (** mean straight-line run length *)
+  loop_nest : int;  (** max additional loop depth inside the hot region *)
+  inner_trip : int;  (** mean trip count of inner loops *)
+  outer_trips : int;  (** iterations of the main hot loop (pre-calibration) *)
+  dyn_ops_target : int;
+      (** executed-op budget the driver calibrates [outer_trips] against *)
+  num_callees : int;  (** callee functions reachable from the hot loop *)
+  (* Dynamic behaviour *)
+  cond_density : float;  (** data-dependent ifs per hot block *)
+  taken_bias : float;  (** mean probability a data-dependent if is taken *)
+  noise : float;  (** share of ifs that are data-dependent (hard) rather
+                      than fixed-direction (learnable) *)
+  if_convert : float;  (** share of small ifs turned into predicated code *)
+  cold_bias : float;  (** probability of entering a cold side path *)
+  (* Instruction mix *)
+  fp_ratio : float;
+  mem_ratio : float;
+  imm_pool : int;  (** distinct immediate constants *)
+  reg_pressure : int;  (** operand pool size per class *)
+}
+
+(** [validate t] — range-checks every knob.  Raises [Invalid_argument]. *)
+val validate : t -> unit
+
+(** [scale ~factor t] multiplies the static size knobs, preserving dynamic
+    behaviour — used by the design-space example. *)
+val scale : factor:float -> t -> t
+
+val pp : Format.formatter -> t -> unit

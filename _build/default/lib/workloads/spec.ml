@@ -1,0 +1,191 @@
+(* Hot working sets: the baseline cache is 20 KB = 4096 40-bit ops, the
+   compressed cache holds roughly 2.5-3x more.  "Small" profiles stay under
+   4096 hot ops; "large" ones exceed it but fit compressed. *)
+
+let base =
+  {
+    Profile.name = "";
+    seed = 0;
+    static_ops = 4000;
+    hot_fraction = 0.6;
+    avg_block_ops = 7;
+    loop_nest = 2;
+    inner_trip = 8;
+    outer_trips = 200;
+    dyn_ops_target = 900_000;
+    num_callees = 2;
+    cond_density = 0.35;
+    taken_bias = 0.45;
+    noise = 0.3;
+    if_convert = 0.2;
+    cold_bias = 0.04;
+    fp_ratio = 0.03;
+    mem_ratio = 0.3;
+    imm_pool = 24;
+    reg_pressure = 8;
+  }
+
+(* Tight LZW-style loops over small tables; famously branchy on data. *)
+let compress =
+  {
+    base with
+    Profile.name = "compress";
+    seed = 101;
+    static_ops = 2600;
+    hot_fraction = 0.7;
+    avg_block_ops = 6;
+    outer_trips = 340;
+    inner_trip = 10;
+    num_callees = 1;
+    noise = 0.65;
+    taken_bias = 0.5;
+    fp_ratio = 0.01;
+    mem_ratio = 0.34;
+    imm_pool = 12;
+  }
+
+(* Very large, flat code; moderate predictability. *)
+let gcc =
+  {
+    base with
+    Profile.name = "gcc";
+    seed = 102;
+    static_ops = 23000;
+    hot_fraction = 0.4;
+    avg_block_ops = 6;
+    outer_trips = 55;
+    inner_trip = 5;
+    num_callees = 6;
+    cond_density = 0.45;
+    noise = 0.3;
+    taken_bias = 0.4;
+    fp_ratio = 0.02;
+    mem_ratio = 0.28;
+    imm_pool = 48;
+  }
+
+(* Notoriously unpredictable branches; mid-sized hot region. *)
+let go =
+  {
+    base with
+    Profile.name = "go";
+    seed = 103;
+    static_ops = 4300;
+    hot_fraction = 0.5;
+    avg_block_ops = 6;
+    outer_trips = 240;
+    inner_trip = 4;
+    num_callees = 2;
+    cond_density = 0.5;
+    noise = 0.8;
+    taken_bias = 0.48;
+    cold_bias = 0.02;
+    fp_ratio = 0.01;
+    mem_ratio = 0.26;
+    imm_pool = 28;
+  }
+
+(* DCT/quantization loops; data-dependent coefficient tests. *)
+let ijpeg =
+  {
+    base with
+    Profile.name = "ijpeg";
+    seed = 104;
+    static_ops = 5200;
+    hot_fraction = 0.5;
+    avg_block_ops = 9;
+    outer_trips = 300;
+    inner_trip = 12;
+    loop_nest = 3;
+    num_callees = 2;
+    noise = 0.42;
+    taken_bias = 0.42;
+    fp_ratio = 0.14;
+    mem_ratio = 0.32;
+    imm_pool = 20;
+  }
+
+(* Lisp interpreter: large dispatch working set, regular dispatch. *)
+let li =
+  {
+    base with
+    Profile.name = "li";
+    seed = 105;
+    static_ops = 11000;
+    hot_fraction = 0.7;
+    avg_block_ops = 5;
+    outer_trips = 110;
+    inner_trip = 4;
+    num_callees = 5;
+    cond_density = 0.4;
+    noise = 0.15;
+    taken_bias = 0.35;
+    fp_ratio = 0.01;
+    mem_ratio = 0.36;
+    imm_pool = 32;
+  }
+
+(* CPU simulator: decode tables, mid hot set, poorly-predicted dispatch. *)
+let m88ksim =
+  {
+    base with
+    Profile.name = "m88ksim";
+    seed = 106;
+    static_ops = 4200;
+    hot_fraction = 0.55;
+    avg_block_ops = 7;
+    outer_trips = 320;
+    inner_trip = 6;
+    num_callees = 2;
+    cond_density = 0.42;
+    noise = 0.55;
+    taken_bias = 0.45;
+    fp_ratio = 0.02;
+    mem_ratio = 0.3;
+    imm_pool = 24;
+  }
+
+(* Interpreter with big opcode table; predictable inner loops. *)
+let perl =
+  {
+    base with
+    Profile.name = "perl";
+    seed = 107;
+    static_ops = 18000;
+    hot_fraction = 0.5;
+    avg_block_ops = 6;
+    outer_trips = 70;
+    inner_trip = 9;
+    num_callees = 5;
+    cond_density = 0.4;
+    noise = 0.08;
+    taken_bias = 0.38;
+    fp_ratio = 0.02;
+    mem_ratio = 0.3;
+    imm_pool = 40;
+  }
+
+(* Object database: biggest footprint, very regular control. *)
+let vortex =
+  {
+    base with
+    Profile.name = "vortex";
+    seed = 108;
+    static_ops = 26000;
+    hot_fraction = 0.35;
+    avg_block_ops = 7;
+    outer_trips = 45;
+    inner_trip = 5;
+    num_callees = 7;
+    cond_density = 0.35;
+    noise = 0.1;
+    taken_bias = 0.3;
+    fp_ratio = 0.01;
+    mem_ratio = 0.33;
+    imm_pool = 44;
+  }
+
+let all = [ compress; gcc; go; ijpeg; li; m88ksim; perl; vortex ]
+
+let find name =
+  List.find_opt (fun p -> p.Profile.name = name) all

@@ -1,0 +1,29 @@
+(** SPECint95-like benchmark profiles.
+
+    The paper evaluates on SPECint95 (compress, gcc, go, ijpeg, li,
+    m88ksim, perl, vortex).  Each profile below is a synthetic stand-in
+    tuned along the three axes that drive the paper's results (see
+    {!Profile} and DESIGN.md §2): code entropy, hot working-set size
+    relative to the 16-20 KB ICaches, and branch predictability.
+
+    The four benchmarks the paper reports as losing under the Compressed
+    scheme (compress, go, ijpeg, m88ksim — Figure 13) get hot loops that
+    fit the baseline cache plus hard-to-predict branches, so the extra
+    misprediction penalty of the decompression stage dominates.  The other
+    four get working sets larger than the baseline cache and predictable
+    branches, so compressed-cache capacity wins. *)
+
+val compress : Profile.t
+val gcc : Profile.t
+val go : Profile.t
+val ijpeg : Profile.t
+val li : Profile.t
+val m88ksim : Profile.t
+val perl : Profile.t
+val vortex : Profile.t
+
+(** All eight, in the paper's (alphabetical) order. *)
+val all : Profile.t list
+
+(** [find name] — lookup by profile name. *)
+val find : string -> Profile.t option

@@ -1,0 +1,27 @@
+type entry = {
+  name : string;
+  kind : [ `Spec | `Kernel ];
+  profile : Profile.t option;
+  load : unit -> Gen.result;
+}
+
+let spec =
+  List.map
+    (fun p ->
+      {
+        name = p.Profile.name;
+        kind = `Spec;
+        profile = Some p;
+        load = (fun () -> Gen.generate p);
+      })
+    Spec.all
+
+let kernels =
+  List.map
+    (fun (name, k) ->
+      { name; kind = `Kernel; profile = None; load = (fun () -> Lazy.force k) })
+    Kernels.all
+
+let all = spec @ kernels
+let find name = List.find_opt (fun e -> e.name = name) all
+let names () = List.map (fun e -> e.name) all

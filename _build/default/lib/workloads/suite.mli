@@ -1,0 +1,17 @@
+(** Named workload suite: the eight SPEC-like programs plus DSP kernels. *)
+
+type entry = {
+  name : string;
+  kind : [ `Spec | `Kernel ];
+  profile : Profile.t option;  (** [Some] for SPEC-like generated programs *)
+  load : unit -> Gen.result;
+}
+
+(** All workloads, SPEC-like programs first. *)
+val all : entry list
+
+(** The eight SPEC-like programs only (the paper's evaluation set). *)
+val spec : entry list
+
+val find : string -> entry option
+val names : unit -> string list

@@ -1,0 +1,1 @@
+test/gen_ops.ml: List QCheck Tepic

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Cccs Gen_ops List QCheck QCheck_alcotest Tepic Workloads

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits Char List QCheck QCheck_alcotest String

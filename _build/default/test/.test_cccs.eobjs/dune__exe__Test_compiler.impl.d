@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Cfg Emulator Ir Layout List Liveness Regalloc Schedule Tepic Treegion Vliw_compiler

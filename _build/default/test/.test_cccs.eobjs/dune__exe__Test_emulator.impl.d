@@ -1,0 +1,1 @@
+test/test_emulator.ml: Alcotest Array Cccs Emulator Filename Float Fun Lazy List Sys Tepic Workloads

@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Array Bits Cccs Encoding Gen_ops Huffman Lazy List Printexc Printf QCheck QCheck_alcotest String Tepic Workloads

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Cccs Emulator Encoding Fetch Fun Gen_ops List Printf QCheck QCheck_alcotest Tepic Workloads

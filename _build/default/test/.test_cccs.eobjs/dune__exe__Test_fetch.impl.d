@@ -1,0 +1,1 @@
+test/test_fetch.ml: Alcotest Cccs Emulator Encoding Fetch List Printf String Tepic Workloads

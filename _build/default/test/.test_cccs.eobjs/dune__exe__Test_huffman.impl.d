@@ -1,0 +1,1 @@
+test/test_huffman.ml: Alcotest Bits Char Huffman List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Cccs Emulator Encoding Fetch List Printf QCheck QCheck_alcotest Workloads

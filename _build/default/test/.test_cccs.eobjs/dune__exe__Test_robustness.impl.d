@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Bits Bytes Cccs Cfg Char Emulator Encoding Huffman Ir Lazy List Printf Regalloc String Tepic Vliw_compiler Workloads

@@ -1,0 +1,1 @@
+test/test_tepic.ml: Alcotest Array Bits Encoding Gen_ops List QCheck QCheck_alcotest String Tepic

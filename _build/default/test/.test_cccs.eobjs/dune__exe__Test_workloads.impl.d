@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cccs Emulator Lazy List Printf Tepic Vliw_compiler Workloads

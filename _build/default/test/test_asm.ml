@@ -1,0 +1,124 @@
+(* Assembly printer/parser tests (the TINKER assembler substitute). *)
+
+let check = Alcotest.(check string)
+
+let test_print_known_ops () =
+  check "alu" "add r3, r1, r2"
+    (Tepic.Asm.print_op
+       (Tepic.Op.alu ~opcode:Tepic.Opcode.ADD ~src1:1 ~src2:2 ~dest:3 ()));
+  check "predicated speculative" "(p5) <s> sub r3, r1, r2"
+    (Tepic.Asm.print_op
+       (Tepic.Op.alu ~spec:true ~pred:5 ~opcode:Tepic.Opcode.SUB ~src1:1
+          ~src2:2 ~dest:3 ()));
+  check "ldi" "ldi r4, #1024"
+    (Tepic.Asm.print_op (Tepic.Op.ldi ~imm:1024 ~dest:4 ()));
+  check "load" "lw r6, [r3]"
+    (Tepic.Asm.print_op
+       (Tepic.Op.load ~opcode:Tepic.Opcode.LW ~src1:3 ~dest:6 ()));
+  check "fp load" "lw f6, [r3]"
+    (Tepic.Asm.print_op
+       (Tepic.Op.load ~tcs:1 ~opcode:Tepic.Opcode.LW ~src1:3 ~dest:6 ()));
+  check "store" "sw [r3], r7"
+    (Tepic.Asm.print_op
+       (Tepic.Op.store ~opcode:Tepic.Opcode.SW ~src1:3 ~src2:7 ()));
+  check "brlc with tail" "brlc bb4 ctr=r2 ;;"
+    (Tepic.Asm.print_op
+       (Tepic.Op.with_tail true
+          (Tepic.Op.branch ~counter:2 ~opcode:Tepic.Opcode.BRLC ~target:4 ())));
+  check "call" "brl bb9 link=r31"
+    (Tepic.Asm.print_op
+       (Tepic.Op.branch ~src1:31 ~opcode:Tepic.Opcode.BRL ~target:9 ()));
+  check "ret" "ret link=r31"
+    (Tepic.Asm.print_op
+       (Tepic.Op.branch ~src1:31 ~opcode:Tepic.Opcode.RET ~target:0 ()))
+
+let test_parse_known_ops () =
+  let p s = Tepic.Asm.parse_op s in
+  Alcotest.(check bool) "alu" true
+    (Tepic.Op.equal
+       (p "add r3, r1, r2")
+       (Tepic.Op.alu ~opcode:Tepic.Opcode.ADD ~src1:1 ~src2:2 ~dest:3 ()));
+  Alcotest.(check bool) "trailer bhwx" true
+    (Tepic.Op.equal
+       (p "add r3, r1, r2 bhwx=0")
+       (Tepic.Op.alu ~bhwx:0 ~opcode:Tepic.Opcode.ADD ~src1:1 ~src2:2 ~dest:3 ()));
+  Alcotest.(check bool) "comment ignored" true
+    (Tepic.Op.equal (p "ldi r4, #7 # the lucky one")
+       (Tepic.Op.ldi ~imm:7 ~dest:4 ()));
+  Alcotest.(check bool) "fp store" true
+    (Tepic.Op.equal (p "sw [r3], f7")
+       (Tepic.Op.store ~tcs:1 ~opcode:Tepic.Opcode.SW ~src1:3 ~src2:7 ()))
+
+let test_parse_rejects () =
+  let reject s =
+    match Tepic.Asm.parse_op s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail ("accepted: " ^ s)
+  in
+  reject "frobnicate r1, r2, r3";
+  reject "add r1, r2";
+  reject "ldi r1, 7";
+  reject "lw r1, r2";
+  reject "br r3"
+
+let prop_op_roundtrip =
+  QCheck.Test.make ~name:"asm op print/parse roundtrip" ~count:500
+    (QCheck.make (Gen_ops.op ())) (fun op ->
+      Tepic.Op.equal op (Tepic.Asm.parse_op (Tepic.Asm.print_op op)))
+
+let prop_program_roundtrip =
+  QCheck.Test.make ~name:"asm program print/parse roundtrip" ~count:50
+    (QCheck.make (Gen_ops.program ())) (fun prog ->
+      let back = Tepic.Asm.parse_program (Tepic.Asm.print_program prog) in
+      Tepic.Program.num_blocks back = Tepic.Program.num_blocks prog
+      && List.for_all2 Tepic.Op.equal (Tepic.Program.all_ops back)
+           (Tepic.Program.all_ops prog))
+
+let test_program_roundtrip_compiled () =
+  (* A real compiled kernel survives the listing. *)
+  let prog =
+    (Cccs.Pipeline.compile (Workloads.Kernels.fir ~taps:8 ~samples:8))
+      .Cccs.Pipeline.program
+  in
+  let back = Tepic.Asm.parse_program (Tepic.Asm.print_program prog) in
+  Alcotest.(check int) "blocks" (Tepic.Program.num_blocks prog)
+    (Tepic.Program.num_blocks back);
+  Alcotest.(check bool) "ops identical" true
+    (List.for_all2 Tepic.Op.equal (Tepic.Program.all_ops back)
+       (Tepic.Program.all_ops prog));
+  (* MOP structure preserved too. *)
+  Alcotest.(check int) "mops" (Tepic.Program.num_mops prog)
+    (Tepic.Program.num_mops back)
+
+let test_parse_program_errors () =
+  let reject s =
+    match Tepic.Asm.parse_program s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail ("accepted: " ^ s)
+  in
+  reject "add r1, r2, r3 ;;\n";  (* op before label *)
+  reject "bb0:\n  add r1, r2, r3\n"  (* missing ;; at block end *)
+
+(* Fuzz: arbitrary junk must fail with Failure (or Invalid_argument from
+   field range checks), never with a match failure or an array error. *)
+let prop_parse_fuzz_fails_cleanly =
+  let gen = QCheck.Gen.(string_size ~gen:printable (int_range 1 60)) in
+  QCheck.Test.make ~name:"asm parser fails cleanly on junk" ~count:300
+    (QCheck.make gen) (fun junk ->
+      match Tepic.Asm.parse_op junk with
+      | _ -> true
+      | exception (Failure _ | Invalid_argument _) -> true
+      | exception _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "print known ops" `Quick test_print_known_ops;
+    Alcotest.test_case "parse known ops" `Quick test_parse_known_ops;
+    Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects;
+    Alcotest.test_case "compiled program roundtrip" `Quick
+      test_program_roundtrip_compiled;
+    Alcotest.test_case "program parse errors" `Quick test_parse_program_errors;
+    QCheck_alcotest.to_alcotest prop_parse_fuzz_fails_cleanly;
+    QCheck_alcotest.to_alcotest prop_op_roundtrip;
+    QCheck_alcotest.to_alcotest prop_program_roundtrip;
+  ]

@@ -1,0 +1,119 @@
+(* Bit-level substrate tests. *)
+
+let check = Alcotest.(check int)
+
+let test_writer_reader_basic () =
+  let w = Bits.Writer.create () in
+  Bits.Writer.add_bits w ~width:4 0b1010;
+  Bits.Writer.add_bits w ~width:1 1;
+  Bits.Writer.add_bits w ~width:11 0b10110011101;
+  check "length" 16 (Bits.Writer.length w);
+  let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+  check "first" 0b1010 (Bits.Reader.read_bits r ~width:4);
+  check "bit" 1 (Bits.Reader.read_bits r ~width:1);
+  check "rest" 0b10110011101 (Bits.Reader.read_bits r ~width:11);
+  check "pos" 16 (Bits.Reader.pos r)
+
+let test_msb_first () =
+  let w = Bits.Writer.create () in
+  Bits.Writer.add_bits w ~width:8 0b10000001;
+  let s = Bits.Writer.contents w in
+  check "byte value" 0x81 (Char.code s.[0])
+
+let test_align_byte () =
+  let w = Bits.Writer.create () in
+  Bits.Writer.add_bits w ~width:3 0b101;
+  let pad = Bits.Writer.align_byte w in
+  check "pad" 5 pad;
+  check "aligned length" 8 (Bits.Writer.length w);
+  check "no pad when aligned" 0 (Bits.Writer.align_byte w)
+
+let test_seek () =
+  let w = Bits.Writer.create () in
+  Bits.Writer.add_bits w ~width:16 0xABCD;
+  let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+  Bits.Reader.seek r 8;
+  check "after seek" 0xCD (Bits.Reader.read_bits r ~width:8);
+  Bits.Reader.seek r 4;
+  check "nibble" 0xB (Bits.Reader.read_bits r ~width:4)
+
+let test_writer_growth () =
+  let w = Bits.Writer.create ~initial_bytes:1 () in
+  for i = 0 to 999 do
+    Bits.Writer.add_bits w ~width:13 (i land 0x1FFF)
+  done;
+  check "grown length" 13000 (Bits.Writer.length w);
+  let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+  for i = 0 to 999 do
+    check "roundtrip value" (i land 0x1FFF) (Bits.Reader.read_bits r ~width:13)
+  done
+
+let test_bounds () =
+  let w = Bits.Writer.create () in
+  Alcotest.check_raises "width too large" (Invalid_argument "Bits.Writer.add_bits: width out of range")
+    (fun () -> Bits.Writer.add_bits w ~width:63 0);
+  Alcotest.check_raises "value too wide"
+    (Invalid_argument "Bits.Writer.add_bits: value does not fit width")
+    (fun () -> Bits.Writer.add_bits w ~width:3 8);
+  let r = Bits.Reader.of_string "" in
+  Alcotest.check_raises "exhausted reader"
+    (Invalid_argument "Bits.Reader.read_bit: exhausted") (fun () ->
+      ignore (Bits.Reader.read_bit r))
+
+let test_popcount () =
+  check "zero" 0 (Bits.popcount 0);
+  check "one" 1 (Bits.popcount 1);
+  check "0xFF" 8 (Bits.popcount 0xFF);
+  check "alternating" 16 (Bits.popcount 0xAAAAAAAA)
+
+let test_bits_needed () =
+  check "0" 0 (Bits.bits_needed 0);
+  check "1" 1 (Bits.bits_needed 1);
+  check "2" 1 (Bits.bits_needed 2);
+  check "3" 2 (Bits.bits_needed 3);
+  check "4" 2 (Bits.bits_needed 4);
+  check "5" 3 (Bits.bits_needed 5);
+  check "256" 8 (Bits.bits_needed 256);
+  check "257" 9 (Bits.bits_needed 257)
+
+let test_flips () =
+  check "same" 0 (Bits.flips_between 0xF0F0 0xF0F0);
+  check "all differ" 8 (Bits.flips_between 0xFF 0x00);
+  check "one" 1 (Bits.flips_between 0b100 0b110)
+
+(* Property: any sequence of (width, value) writes reads back exactly. *)
+let prop_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 200)
+        (int_range 1 30 >>= fun w ->
+         int_bound ((1 lsl w) - 1) >>= fun v -> return (w, v)))
+  in
+  QCheck.Test.make ~name:"writer/reader roundtrip" ~count:200
+    (QCheck.make gen) (fun fields ->
+      let w = Bits.Writer.create () in
+      List.iter (fun (width, v) -> Bits.Writer.add_bits w ~width v) fields;
+      let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+      List.for_all (fun (width, v) -> Bits.Reader.read_bits r ~width = v) fields)
+
+let prop_bits_needed_sufficient =
+  QCheck.Test.make ~name:"bits_needed covers the range" ~count:500
+    QCheck.(int_range 1 1_000_000)
+    (fun n ->
+      let w = Bits.bits_needed n in
+      1 lsl w >= n && (w = 1 || 1 lsl (w - 1) < n))
+
+let suite =
+  [
+    Alcotest.test_case "writer/reader basic" `Quick test_writer_reader_basic;
+    Alcotest.test_case "MSB-first layout" `Quick test_msb_first;
+    Alcotest.test_case "byte alignment" `Quick test_align_byte;
+    Alcotest.test_case "seek" `Quick test_seek;
+    Alcotest.test_case "buffer growth" `Quick test_writer_growth;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    Alcotest.test_case "bits_needed" `Quick test_bits_needed;
+    Alcotest.test_case "flips_between" `Quick test_flips;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bits_needed_sufficient;
+  ]

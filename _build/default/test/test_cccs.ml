@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "cccs"
+    [
+      ("bits", Test_bits.suite);
+      ("huffman", Test_huffman.suite);
+      ("tepic", Test_tepic.suite);
+      ("asm", Test_asm.suite);
+      ("compiler", Test_compiler.suite);
+      ("emulator", Test_emulator.suite);
+      ("workloads", Test_workloads.suite);
+      ("encoding", Test_encoding.suite);
+      ("fetch", Test_fetch.suite);
+      ("integration", Test_integration.suite);
+      ("extensions", Test_extensions.suite);
+      ("robustness", Test_robustness.suite);
+    ]

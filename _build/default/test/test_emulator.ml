@@ -1,0 +1,342 @@
+(* Emulator tests: pure semantics, MOP-parallel execution, control flow,
+   traces and the reference interpreter. *)
+
+let check = Alcotest.(check int)
+
+(* --- Semantics --- *)
+
+let test_wrap32 () =
+  check "identity" 5 (Emulator.Semantics.wrap32 5);
+  check "negative" (-5) (Emulator.Semantics.wrap32 (-5));
+  check "overflow wraps" (-2147483648) (Emulator.Semantics.wrap32 2147483648);
+  check "max" 2147483647 (Emulator.Semantics.wrap32 2147483647);
+  check "unsigned read" 0xFFFFFFFF (Emulator.Semantics.to_unsigned (-1))
+
+let test_alu () =
+  let a = Emulator.Semantics.alu in
+  check "add" 7 (a Tepic.Opcode.ADD 3 4);
+  check "add wraps" (-2147483648) (a Tepic.Opcode.ADD 2147483647 1);
+  check "sub" (-1) (a Tepic.Opcode.SUB 3 4);
+  check "mul" 12 (a Tepic.Opcode.MUL 3 4);
+  check "div" 3 (a Tepic.Opcode.DIV 13 4);
+  check "div by zero" 0 (a Tepic.Opcode.DIV 13 0);
+  check "rem by zero" 0 (a Tepic.Opcode.REM 13 0);
+  check "and" 0b100 (a Tepic.Opcode.AND 0b110 0b101);
+  check "nand" (Emulator.Semantics.wrap32 (lnot 0b100)) (a Tepic.Opcode.NAND 0b110 0b101);
+  check "shl masks shamt" 2 (a Tepic.Opcode.SHL 1 33);
+  check "shr is logical" 0x7FFFFFFF (a Tepic.Opcode.SHR (-1) 1);
+  check "sra is arithmetic" (-1) (a Tepic.Opcode.SRA (-1) 1);
+  check "mov" 9 (a Tepic.Opcode.MOV 9 0);
+  check "abs" 9 (a Tepic.Opcode.ABS (-9) 0);
+  check "min" (-3) (a Tepic.Opcode.MIN (-3) 2);
+  check "max" 2 (a Tepic.Opcode.MAX (-3) 2)
+
+let test_cmpp () =
+  let c = Emulator.Semantics.cmpp in
+  Alcotest.(check bool) "lt" true (c Tepic.Opcode.CMPP_LT (-1) 0);
+  Alcotest.(check bool) "ltu treats -1 as big" false
+    (c Tepic.Opcode.CMPP_LTU (-1) 0);
+  Alcotest.(check bool) "geu" true (c Tepic.Opcode.CMPP_GEU (-1) 0);
+  Alcotest.(check bool) "eq" true (c Tepic.Opcode.CMPP_EQ 4 4);
+  Alcotest.(check bool) "ne" false (c Tepic.Opcode.CMPP_NE 4 4)
+
+let test_fpu_sanitized () =
+  let f = Emulator.Semantics.fpu in
+  Alcotest.(check (float 1e-9)) "fadd" 3.5 (f Tepic.Opcode.FADD 1.5 2.0);
+  Alcotest.(check (float 1e-9)) "fdiv by zero" 0.0 (f Tepic.Opcode.FDIV 1.0 0.0);
+  Alcotest.(check (float 1e-9)) "nan flushed" 0.0
+    (f Tepic.Opcode.FMUL Float.infinity 0.0);
+  Alcotest.(check (float 1e-9)) "inf flushed" 0.0
+    (f Tepic.Opcode.FMUL Float.max_float Float.max_float);
+  Alcotest.(check (float 1e-9)) "fsqrt of negative" 0.0
+    (f Tepic.Opcode.FSQRT (-4.0) 0.0);
+  Alcotest.(check (float 1e-9)) "fcmp true" 1.0 (f Tepic.Opcode.FCMP 1.0 2.0)
+
+let test_ftoi () =
+  check "trunc" 3 (Emulator.Semantics.ftoi 3.7);
+  check "trunc negative" (-3) (Emulator.Semantics.ftoi (-3.7));
+  check "nan" 0 (Emulator.Semantics.ftoi Float.nan);
+  check "saturate" 2147483647 (Emulator.Semantics.ftoi 1e30)
+
+let test_mem_index () =
+  check "in range" 5 (Emulator.Semantics.mem_index ~size:100 5);
+  check "wraps" 5 (Emulator.Semantics.mem_index ~size:100 105);
+  check "negative wraps" 95 (Emulator.Semantics.mem_index ~size:100 (-5))
+
+let test_narrow () =
+  check "byte sign extend" (-1) (Emulator.Semantics.narrow ~bhwx:0 0xFF);
+  check "byte positive" 0x7F (Emulator.Semantics.narrow ~bhwx:0 0x7F);
+  check "half sign extend" (-1) (Emulator.Semantics.narrow ~bhwx:1 0xFFFF);
+  check "word" 123456 (Emulator.Semantics.narrow ~bhwx:2 123456)
+
+(* --- Machine: MOP-parallel semantics --- *)
+
+let mk_machine () = Emulator.Machine.create ~mem_size:256 ()
+
+let test_parallel_swap () =
+  (* Classic test of read-before-write: a parallel register swap. *)
+  let m = mk_machine () in
+  m.Emulator.Machine.gpr.(1) <- 11;
+  m.Emulator.Machine.gpr.(2) <- 22;
+  let mov d s = Tepic.Op.alu ~opcode:Tepic.Opcode.MOV ~src1:s ~src2:0 ~dest:d () in
+  ignore (Emulator.Machine.exec_mop m ~block_id:0 [ mov 1 2; mov 2 1 ]);
+  check "swap r1" 22 m.Emulator.Machine.gpr.(1);
+  check "swap r2" 11 m.Emulator.Machine.gpr.(2)
+
+let test_predication () =
+  let m = mk_machine () in
+  m.Emulator.Machine.pr.(3) <- false;
+  ignore
+    (Emulator.Machine.exec_mop m ~block_id:0
+       [ Tepic.Op.ldi ~pred:3 ~imm:99 ~dest:1 () ]);
+  check "guard false: no write" 0 m.Emulator.Machine.gpr.(1);
+  m.Emulator.Machine.pr.(3) <- true;
+  ignore
+    (Emulator.Machine.exec_mop m ~block_id:0
+       [ Tepic.Op.ldi ~pred:3 ~imm:99 ~dest:1 () ]);
+  check "guard true: write" 99 m.Emulator.Machine.gpr.(1)
+
+let test_p0_hardwired () =
+  let m = mk_machine () in
+  ignore
+    (Emulator.Machine.exec_mop m ~block_id:0
+       [ Tepic.Op.cmpp ~opcode:Tepic.Opcode.CMPP_NE ~src1:0 ~src2:0 ~dest:0 () ]);
+  Alcotest.(check bool) "p0 stays true" true m.Emulator.Machine.pr.(0)
+
+let test_branch_semantics () =
+  let m = mk_machine () in
+  (* BR *)
+  (match
+     Emulator.Machine.exec_mop m ~block_id:4
+       [ Tepic.Op.branch ~opcode:Tepic.Opcode.BR ~target:9 () ]
+   with
+  | Emulator.Machine.Goto t -> check "br" 9 t
+  | _ -> Alcotest.fail "expected Goto");
+  (* BRCT with true guard (p0) is taken. *)
+  (match
+     Emulator.Machine.exec_mop m ~block_id:4
+       [ Tepic.Op.branch ~opcode:Tepic.Opcode.BRCT ~target:9 () ]
+   with
+  | Emulator.Machine.Goto _ -> ()
+  | _ -> Alcotest.fail "BRCT with true guard must branch");
+  (* BRCT with false guard falls through. *)
+  m.Emulator.Machine.pr.(5) <- false;
+  (match
+     Emulator.Machine.exec_mop m ~block_id:4
+       [ Tepic.Op.branch ~pred:5 ~opcode:Tepic.Opcode.BRCT ~target:9 () ]
+   with
+  | Emulator.Machine.Next -> ()
+  | _ -> Alcotest.fail "BRCT with false guard must fall through");
+  (* BRCF is the complement. *)
+  (match
+     Emulator.Machine.exec_mop m ~block_id:4
+       [ Tepic.Op.branch ~pred:5 ~opcode:Tepic.Opcode.BRCF ~target:9 () ]
+   with
+  | Emulator.Machine.Goto t -> check "brcf taken on false" 9 t
+  | _ -> Alcotest.fail "BRCF with false guard must branch");
+  m.Emulator.Machine.pr.(5) <- true;
+  (match
+     Emulator.Machine.exec_mop m ~block_id:4
+       [ Tepic.Op.branch ~pred:5 ~opcode:Tepic.Opcode.BRCF ~target:9 () ]
+   with
+  | Emulator.Machine.Next -> ()
+  | _ -> Alcotest.fail "BRCF with true guard must fall through")
+
+let test_brlc () =
+  let m = mk_machine () in
+  m.Emulator.Machine.gpr.(7) <- 2;
+  let brlc () =
+    Emulator.Machine.exec_mop m ~block_id:3
+      [ Tepic.Op.branch ~counter:7 ~opcode:Tepic.Opcode.BRLC ~target:1 () ]
+  in
+  (match brlc () with
+  | Emulator.Machine.Goto 1 -> ()
+  | _ -> Alcotest.fail "counter=2 must loop");
+  check "decremented" 1 m.Emulator.Machine.gpr.(7);
+  ignore (brlc ());
+  check "decremented again" 0 m.Emulator.Machine.gpr.(7);
+  match brlc () with
+  | Emulator.Machine.Next -> ()
+  | _ -> Alcotest.fail "counter=0 must exit"
+
+let test_brl_ret () =
+  let m = mk_machine () in
+  (match
+     Emulator.Machine.exec_mop m ~block_id:6
+       [ Tepic.Op.branch ~src1:31 ~opcode:Tepic.Opcode.BRL ~target:20 () ]
+   with
+  | Emulator.Machine.Call_to { target } -> check "call target" 20 target
+  | _ -> Alcotest.fail "expected Call_to");
+  check "link holds return block" 7 m.Emulator.Machine.gpr.(31);
+  (match
+     Emulator.Machine.exec_mop m ~block_id:25
+       [ Tepic.Op.branch ~src1:31 ~opcode:Tepic.Opcode.RET ~target:0 () ]
+   with
+  | Emulator.Machine.Return_to t -> check "returns" 7 t
+  | _ -> Alcotest.fail "expected Return_to");
+  m.Emulator.Machine.gpr.(31) <- -1;
+  match
+    Emulator.Machine.exec_mop m ~block_id:25
+      [ Tepic.Op.branch ~src1:31 ~opcode:Tepic.Opcode.RET ~target:0 () ]
+  with
+  | Emulator.Machine.Halt -> ()
+  | _ -> Alcotest.fail "negative link halts"
+
+let test_fp_memory_tcs () =
+  let m = mk_machine () in
+  m.Emulator.Machine.gpr.(1) <- 10;
+  m.Emulator.Machine.fpr.(2) <- 2.5;
+  ignore
+    (Emulator.Machine.exec_mop m ~block_id:0
+       [ Tepic.Op.store ~tcs:1 ~opcode:Tepic.Opcode.SW ~src1:1 ~src2:2 () ]);
+  Alcotest.(check (float 1e-9)) "fmem written" 2.5 m.Emulator.Machine.fmem.(10);
+  ignore
+    (Emulator.Machine.exec_mop m ~block_id:0
+       [ Tepic.Op.load ~tcs:1 ~opcode:Tepic.Opcode.LW ~src1:1 ~dest:3 () ]);
+  Alcotest.(check (float 1e-9)) "fpr loaded" 2.5 m.Emulator.Machine.fpr.(3)
+
+(* --- Exec on a tiny whole program --- *)
+
+let tiny_program () =
+  (* bb0: c=2; bb1: r1+=5, brlc c -> bb1; bb2: store r1 to [r2=64]. *)
+  let mop ops = Tepic.Mop.make ops in
+  Tepic.Program.make ~name:"tiny"
+    [
+      { Tepic.Program.id = 0;
+        mops = [ mop [ Tepic.Op.ldi ~imm:2 ~dest:7 (); Tepic.Op.ldi ~imm:0 ~dest:1 () ] ] };
+      { Tepic.Program.id = 1;
+        mops =
+          [
+            mop [ Tepic.Op.ldi ~imm:5 ~dest:2 () ];
+            mop
+              [
+                Tepic.Op.alu ~opcode:Tepic.Opcode.ADD ~src1:1 ~src2:2 ~dest:1 ();
+                Tepic.Op.branch ~counter:7 ~opcode:Tepic.Opcode.BRLC ~target:1 ();
+              ];
+          ] };
+      { Tepic.Program.id = 2;
+        mops =
+          [
+            mop [ Tepic.Op.ldi ~imm:64 ~dest:2 () ];
+            mop [ Tepic.Op.store ~opcode:Tepic.Opcode.SW ~src1:2 ~src2:1 () ];
+          ] };
+    ]
+
+let test_exec_tiny () =
+  let res = Emulator.Exec.run ~mem_size:128 (tiny_program ()) in
+  Alcotest.(check bool) "ends by falling through" true
+    (res.Emulator.Exec.stop = Emulator.Exec.Fell_through);
+  (* Loop body runs 3 times (counter 2 -> taken, taken, exit). *)
+  check "accumulated" 15 res.Emulator.Exec.machine.Emulator.Machine.gpr.(1);
+  check "stored" 15 res.Emulator.Exec.machine.Emulator.Machine.mem.(64);
+  Alcotest.(check (array int)) "trace" [| 0; 1; 1; 1; 2 |]
+    (Emulator.Trace.to_array res.Emulator.Exec.trace)
+
+let test_exec_budget () =
+  (* An infinite loop must stop at the budget. *)
+  let p =
+    Tepic.Program.make ~name:"inf"
+      [
+        { Tepic.Program.id = 0;
+          mops = [ Tepic.Mop.make [ Tepic.Op.branch ~opcode:Tepic.Opcode.BR ~target:0 () ] ] };
+      ]
+  in
+  let res = Emulator.Exec.run ~max_blocks:100 p in
+  Alcotest.(check bool) "budget stop" true
+    (res.Emulator.Exec.stop = Emulator.Exec.Budget_exhausted);
+  check "visits bounded" 100 (Emulator.Trace.length res.Emulator.Exec.trace)
+
+(* --- Trace --- *)
+
+let test_trace () =
+  let t = Emulator.Trace.create () in
+  for i = 0 to 2999 do
+    Emulator.Trace.add t (i mod 7)
+  done;
+  check "length" 3000 (Emulator.Trace.length t);
+  check "get" 4 (Emulator.Trace.get t 4);
+  let v = Emulator.Trace.visits t ~num_blocks:7 in
+  check "visit counts" 429 v.(0);
+  Emulator.Trace.record_ops t ~ops:10 ~mops:3;
+  Emulator.Trace.record_ops t ~ops:5 ~mops:2;
+  check "ops accumulate" 15 (Emulator.Trace.total_ops t);
+  check "mops accumulate" 5 (Emulator.Trace.total_mops t)
+
+(* --- Kernels: known numeric results --- *)
+
+let test_fir_computes_fir () =
+  (* Seed x and c arrays, run the compiled FIR kernel, check out[0]. *)
+  let w = Workloads.Kernels.fir ~taps:4 ~samples:2 in
+  let c = Cccs.Pipeline.compile w in
+  let res = Emulator.Exec.run c.Cccs.Pipeline.program in
+  ignore res;
+  (* The kernel reads zero-initialized memory, so every output is 0; the
+     interesting check is against the reference interpreter with the same
+     machine (covered below) plus termination here. *)
+  Alcotest.(check bool) "terminates" true
+    (res.Emulator.Exec.stop = Emulator.Exec.Fell_through)
+
+let test_ref_interp_matches_machine_on_kernels () =
+  List.iter
+    (fun (name, k) ->
+      let w = Lazy.force k in
+      let c = Cccs.Pipeline.compile w in
+      let res = Emulator.Exec.run c.Cccs.Pipeline.program in
+      let ref_res = Emulator.Ref_interp.run c.Cccs.Pipeline.alloc_cfg in
+      Alcotest.(check bool) (name ^ " memory agrees") true
+        (Emulator.Ref_interp.mem_checksum ref_res
+        = Emulator.Machine.mem_checksum res.Emulator.Exec.machine);
+      Alcotest.(check bool) (name ^ " trace agrees") true
+        (Emulator.Trace.to_array res.Emulator.Exec.trace
+        = Emulator.Trace.to_array ref_res.Emulator.Ref_interp.trace))
+    Workloads.Kernels.all
+
+let test_trace_io () =
+  let t = Emulator.Trace.create () in
+  List.iter (Emulator.Trace.add t) [ 0; 3; 1; 4; 1; 5 ];
+  Emulator.Trace.record_ops t ~ops:42 ~mops:17;
+  let path = Filename.temp_file "cccs" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Emulator.Trace.save t path;
+      let t' = Emulator.Trace.load path in
+      Alcotest.(check (array int)) "sequence" (Emulator.Trace.to_array t)
+        (Emulator.Trace.to_array t');
+      check "ops" 42 (Emulator.Trace.total_ops t');
+      check "mops" 17 (Emulator.Trace.total_mops t'));
+  let bad = Filename.temp_file "cccs" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove bad)
+    (fun () ->
+      let oc = open_out bad in
+      output_string oc "not a trace\n";
+      close_out oc;
+      match Emulator.Trace.load bad with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "accepted a bad trace file")
+
+let suite =
+  [
+    Alcotest.test_case "wrap32" `Quick test_wrap32;
+    Alcotest.test_case "ALU semantics" `Quick test_alu;
+    Alcotest.test_case "compare semantics" `Quick test_cmpp;
+    Alcotest.test_case "FPU semantics sanitized" `Quick test_fpu_sanitized;
+    Alcotest.test_case "ftoi" `Quick test_ftoi;
+    Alcotest.test_case "memory indexing" `Quick test_mem_index;
+    Alcotest.test_case "operand narrowing" `Quick test_narrow;
+    Alcotest.test_case "MOP parallel swap" `Quick test_parallel_swap;
+    Alcotest.test_case "predication" `Quick test_predication;
+    Alcotest.test_case "p0 hard-wired" `Quick test_p0_hardwired;
+    Alcotest.test_case "branch semantics" `Quick test_branch_semantics;
+    Alcotest.test_case "loop-counter branch" `Quick test_brlc;
+    Alcotest.test_case "call and return" `Quick test_brl_ret;
+    Alcotest.test_case "FP memory via TCS" `Quick test_fp_memory_tcs;
+    Alcotest.test_case "whole-program execution" `Quick test_exec_tiny;
+    Alcotest.test_case "execution budget" `Quick test_exec_budget;
+    Alcotest.test_case "trace accounting" `Quick test_trace;
+    Alcotest.test_case "trace save/load" `Quick test_trace_io;
+    Alcotest.test_case "fir kernel terminates" `Quick test_fir_computes_fir;
+    Alcotest.test_case "kernels: machine vs reference" `Quick
+      test_ref_interp_matches_machine_on_kernels;
+  ]

@@ -1,0 +1,286 @@
+(* Fetch-side tests: Table 1 penalties, the line cache, the ATB and its
+   predictor, the L0 buffer, bus accounting and the simulators. *)
+
+let check = Alcotest.(check int)
+
+(* --- Table 1 transcription --- *)
+
+let test_table1_exact () =
+  let p = Fetch.Config.penalty in
+  let n = 4 in
+  (* Base column. *)
+  check "base correct hit" 1
+    (p Fetch.Config.Base ~predicted:true ~cache_hit:true ~buffer_hit:false ~lines:n);
+  check "base correct miss" (1 + (n - 1))
+    (p Fetch.Config.Base ~predicted:true ~cache_hit:false ~buffer_hit:false ~lines:n);
+  check "base mispredict hit" 2
+    (p Fetch.Config.Base ~predicted:false ~cache_hit:true ~buffer_hit:false ~lines:n);
+  check "base mispredict miss" (8 + (n - 1))
+    (p Fetch.Config.Base ~predicted:false ~cache_hit:false ~buffer_hit:false ~lines:n);
+  (* Tailored column: +1 on the miss path. *)
+  check "tailored correct hit" 1
+    (p Fetch.Config.Tailored ~predicted:true ~cache_hit:true ~buffer_hit:false ~lines:n);
+  check "tailored correct miss" (2 + (n - 1))
+    (p Fetch.Config.Tailored ~predicted:true ~cache_hit:false ~buffer_hit:false ~lines:n);
+  check "tailored mispredict hit" 2
+    (p Fetch.Config.Tailored ~predicted:false ~cache_hit:true ~buffer_hit:false ~lines:n);
+  check "tailored mispredict miss" (9 + (n - 1))
+    (p Fetch.Config.Tailored ~predicted:false ~cache_hit:false ~buffer_hit:false ~lines:n);
+  (* Compressed column: buffer hit is always one cycle. *)
+  List.iter
+    (fun (pr, ch) ->
+      check "compressed buffer hit" 1
+        (p Fetch.Config.Compressed ~predicted:pr ~cache_hit:ch ~buffer_hit:true
+           ~lines:n))
+    [ (true, true); (true, false); (false, true); (false, false) ];
+  check "compressed correct hit bufmiss" (1 + (n - 1))
+    (p Fetch.Config.Compressed ~predicted:true ~cache_hit:true ~buffer_hit:false ~lines:n);
+  check "compressed correct miss bufmiss" (3 + (n - 1))
+    (p Fetch.Config.Compressed ~predicted:true ~cache_hit:false ~buffer_hit:false ~lines:n);
+  check "compressed mispredict hit bufmiss" (2 + (n - 1))
+    (p Fetch.Config.Compressed ~predicted:false ~cache_hit:true ~buffer_hit:false ~lines:n);
+  check "compressed mispredict miss bufmiss" (10 + (n - 1))
+    (p Fetch.Config.Compressed ~predicted:false ~cache_hit:false ~buffer_hit:false ~lines:n)
+
+let test_config_geometry () =
+  let c = Fetch.Config.default in
+  check "line bits = max MOP" 240 c.Fetch.Config.line_bits;
+  check "lines in 16KB" 546 (Fetch.Config.num_lines c);
+  check "sets" 273 (Fetch.Config.num_sets c);
+  check "base cache is 20KB" (20 * 1024)
+    Fetch.Config.default_base.Fetch.Config.cache_bytes;
+  check "lines of 0 bits" 1 (Fetch.Config.lines_of_bits c 0);
+  check "lines of 240" 1 (Fetch.Config.lines_of_bits c 240);
+  check "lines of 241" 2 (Fetch.Config.lines_of_bits c 241)
+
+(* --- Line cache --- *)
+
+let test_line_cache_basics () =
+  let c = Fetch.Line_cache.create Fetch.Config.default in
+  Alcotest.(check bool) "cold miss" false
+    (Fetch.Line_cache.block_resident c ~offset_bits:0 ~size_bits:100);
+  check "fetches one line" 1
+    (Fetch.Line_cache.touch_block c ~offset_bits:0 ~size_bits:100);
+  Alcotest.(check bool) "now resident" true
+    (Fetch.Line_cache.block_resident c ~offset_bits:0 ~size_bits:100);
+  check "no refetch" 0 (Fetch.Line_cache.touch_block c ~offset_bits:0 ~size_bits:100);
+  (* A straddling block needs both lines. *)
+  check "straddler fetches the next line" 1
+    (Fetch.Line_cache.touch_block c ~offset_bits:200 ~size_bits:100)
+
+let test_line_cache_restricted_placement () =
+  let c = Fetch.Line_cache.create Fetch.Config.default in
+  ignore (Fetch.Line_cache.touch_block c ~offset_bits:0 ~size_bits:240);
+  (* Block spanning lines 0-1 with only line 0 resident: not a hit. *)
+  Alcotest.(check bool) "partial presence is a miss" false
+    (Fetch.Line_cache.block_resident c ~offset_bits:0 ~size_bits:480)
+
+let test_line_cache_lru () =
+  (* Two-way sets: three conflicting lines evict the least recent. *)
+  let cfg = Fetch.Config.default in
+  let sets = Fetch.Config.num_sets cfg in
+  let c = Fetch.Line_cache.create cfg in
+  let line_bits i = (i * sets * cfg.Fetch.Config.line_bits, 100) in
+  let touch i =
+    let off, sz = line_bits i in
+    ignore (Fetch.Line_cache.touch_block c ~offset_bits:off ~size_bits:sz)
+  in
+  let resident i =
+    let off, sz = line_bits i in
+    Fetch.Line_cache.block_resident c ~offset_bits:off ~size_bits:sz
+  in
+  touch 0;
+  touch 1;
+  touch 0 (* refresh 0 *);
+  touch 2 (* evicts 1 *);
+  Alcotest.(check bool) "0 kept (recently used)" true (resident 0);
+  Alcotest.(check bool) "1 evicted" false (resident 1);
+  Alcotest.(check bool) "2 resident" true (resident 2)
+
+(* --- ATB --- *)
+
+let test_atb_hit_miss () =
+  let atb = Fetch.Atb.create Fetch.Config.default ~num_blocks:100 in
+  Alcotest.(check bool) "cold miss" false (Fetch.Atb.lookup atb 5);
+  Alcotest.(check bool) "then hit" true (Fetch.Atb.lookup atb 5);
+  check "one miss" 1 (Fetch.Atb.misses atb);
+  check "one hit" 1 (Fetch.Atb.hits atb)
+
+let test_atb_capacity () =
+  let cfg = { Fetch.Config.default with Fetch.Config.atb_entries = 4 } in
+  let atb = Fetch.Atb.create cfg ~num_blocks:100 in
+  for b = 0 to 3 do
+    ignore (Fetch.Atb.lookup atb b)
+  done;
+  ignore (Fetch.Atb.lookup atb 50);
+  (* block 0 was LRU -> evicted. *)
+  Alcotest.(check bool) "LRU evicted" false (Fetch.Atb.lookup atb 0)
+
+let test_predictor_learns_loop () =
+  let atb = Fetch.Atb.create Fetch.Config.default ~num_blocks:100 in
+  ignore (Fetch.Atb.lookup atb 10);
+  (* Initially weakly not-taken: predicts fallthrough. *)
+  check "cold predicts fallthrough" 11 (Fetch.Atb.predict atb 10);
+  (* Train taken to 3 twice. *)
+  Fetch.Atb.update atb 10 ~next:3;
+  Fetch.Atb.update atb 10 ~next:3;
+  check "learned the loop" 3 (Fetch.Atb.predict atb 10);
+  (* One not-taken does not flip a saturated counter. *)
+  Fetch.Atb.update atb 10 ~next:3;
+  Fetch.Atb.update atb 10 ~next:11;
+  check "hysteresis" 3 (Fetch.Atb.predict atb 10);
+  Fetch.Atb.update atb 10 ~next:11;
+  Fetch.Atb.update atb 10 ~next:11;
+  check "eventually flips" 11 (Fetch.Atb.predict atb 10)
+
+(* --- L0 buffer --- *)
+
+let test_l0_buffer () =
+  let cfg = { Fetch.Config.default with Fetch.Config.l0_ops = 8 } in
+  let l0 = Fetch.L0_buffer.create cfg in
+  Alcotest.(check bool) "cold" false (Fetch.L0_buffer.hit l0 1);
+  Fetch.L0_buffer.insert l0 1 ~ops:4;
+  Alcotest.(check bool) "hit after insert" true (Fetch.L0_buffer.hit l0 1);
+  Fetch.L0_buffer.insert l0 2 ~ops:4;
+  Alcotest.(check bool) "both fit" true (Fetch.L0_buffer.hit l0 2);
+  (* Inserting a third 4-op block evicts the LRU (block 1). *)
+  Fetch.L0_buffer.insert l0 3 ~ops:4;
+  Alcotest.(check bool) "LRU block evicted" false (Fetch.L0_buffer.hit l0 1);
+  Alcotest.(check bool) "MRU kept" true (Fetch.L0_buffer.hit l0 2);
+  (* Oversized blocks bypass. *)
+  Fetch.L0_buffer.insert l0 9 ~ops:100;
+  Alcotest.(check bool) "oversized bypasses" false (Fetch.L0_buffer.hit l0 9)
+
+(* --- Bus --- *)
+
+let test_bus_flips () =
+  let cfg = { Fetch.Config.default with Fetch.Config.line_bits = 64; bus_bits = 32 } in
+  (* Image: 8 bytes alternating 0xFF 0x00 ... *)
+  let image = "\xFF\xFF\xFF\xFF\x00\x00\x00\x00" in
+  let bus = Fetch.Bus.create cfg ~image in
+  let flips = Fetch.Bus.fetch_line bus 0 in
+  (* Beat 1: 0 -> 0xFFFFFFFF = 32 flips; beat 2: -> 0 = 32 flips. *)
+  check "flips counted" 64 flips;
+  check "beats" 2 (Fetch.Bus.total_beats bus);
+  (* Same line again: starts from last word 0 -> same flips. *)
+  check "stateful across lines" 64 (Fetch.Bus.fetch_line bus 0)
+
+let test_bus_zero_image () =
+  let cfg = { Fetch.Config.default with Fetch.Config.line_bits = 64; bus_bits = 32 } in
+  let bus = Fetch.Bus.create cfg ~image:(String.make 8 '\000') in
+  check "all-zero line: no flips" 0 (Fetch.Bus.fetch_line bus 0)
+
+(* --- Simulators on a tiny synthetic trace --- *)
+
+let tiny_fixture () =
+  let p =
+    {
+      Workloads.Spec.compress with
+      Workloads.Profile.name = "fetch-test";
+      static_ops = 300;
+      outer_trips = 10;
+      dyn_ops_target = 20_000;
+      num_callees = 0;
+    }
+  in
+  let c = Cccs.Pipeline.compile (Workloads.Gen.generate p) in
+  let prog = c.Cccs.Pipeline.program in
+  let res = Emulator.Exec.run ~max_blocks:100_000 prog in
+  (prog, res.Emulator.Exec.trace)
+
+let test_ideal_ipc () =
+  let prog, trace = tiny_fixture () in
+  let s = Encoding.Baseline.build prog in
+  let att = Encoding.Att.build s ~line_bits:240 prog in
+  let r = Fetch.Sim.run_ideal ~att trace in
+  check "cycles = mops" r.Fetch.Sim.mops_delivered r.Fetch.Sim.cycles;
+  check "ops preserved" (Emulator.Trace.total_ops trace) r.Fetch.Sim.ops_delivered
+
+let test_sim_bounds () =
+  let prog, trace = tiny_fixture () in
+  let base = Encoding.Baseline.build prog in
+  let att = Encoding.Att.build base ~line_bits:240 prog in
+  let ideal = Fetch.Sim.run_ideal ~att trace in
+  let r =
+    Fetch.Sim.run ~model:Fetch.Config.Base ~cfg:Fetch.Config.default_base
+      ~scheme:base ~att trace
+  in
+  Alcotest.(check bool) "base no faster than ideal" true
+    (r.Fetch.Sim.cycles >= ideal.Fetch.Sim.cycles);
+  Alcotest.(check bool) "ipc at most issue width" true
+    (r.Fetch.Sim.ipc <= float_of_int Tepic.Mop.issue_width);
+  check "visits" (Emulator.Trace.length trace) r.Fetch.Sim.block_visits;
+  check "hits+misses = non-buffer visits"
+    (r.Fetch.Sim.l1_hits + r.Fetch.Sim.l1_misses)
+    r.Fetch.Sim.block_visits
+
+let test_sim_compressed_uses_buffer () =
+  let prog, trace = tiny_fixture () in
+  let full = Encoding.Full_huffman.build prog in
+  let att = Encoding.Att.build full ~line_bits:240 prog in
+  let r =
+    Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg:Fetch.Config.default
+      ~scheme:full ~att trace
+  in
+  Alcotest.(check bool) "L0 sees traffic" true (r.Fetch.Sim.l0_hits > 0);
+  check "buffer accounting"
+    (Emulator.Trace.length trace)
+    (r.Fetch.Sim.l0_hits + r.Fetch.Sim.l0_misses)
+
+let test_sim_deterministic () =
+  let prog, trace = tiny_fixture () in
+  let base = Encoding.Baseline.build prog in
+  let att = Encoding.Att.build base ~line_bits:240 prog in
+  let r1 =
+    Fetch.Sim.run ~model:Fetch.Config.Base ~cfg:Fetch.Config.default_base
+      ~scheme:base ~att trace
+  in
+  let r2 =
+    Fetch.Sim.run ~model:Fetch.Config.Base ~cfg:Fetch.Config.default_base
+      ~scheme:base ~att trace
+  in
+  check "same cycles" r1.Fetch.Sim.cycles r2.Fetch.Sim.cycles;
+  check "same flips" r1.Fetch.Sim.bus_flips r2.Fetch.Sim.bus_flips
+
+let test_kernel_fits_l0 () =
+  (* The paper's §4 claim: a tight DSP loop lives in the 32-op buffer, so
+     compressed fetch behaves like an ideal cache on kernels. *)
+  let w = Workloads.Kernels.fir ~taps:16 ~samples:64 in
+  let c = Cccs.Pipeline.compile w in
+  let prog = c.Cccs.Pipeline.program in
+  let trace = (Emulator.Exec.run prog).Emulator.Exec.trace in
+  let full = Encoding.Full_huffman.build prog in
+  let att = Encoding.Att.build full ~line_bits:240 prog in
+  let r =
+    Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg:Fetch.Config.default
+      ~scheme:full ~att trace
+  in
+  let hit_rate =
+    float_of_int r.Fetch.Sim.l0_hits /. float_of_int (max 1 r.Fetch.Sim.block_visits)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "L0 hit rate %.3f > 0.95" hit_rate)
+    true (hit_rate > 0.95)
+
+let suite =
+  [
+    Alcotest.test_case "Table 1 penalties, verbatim" `Quick test_table1_exact;
+    Alcotest.test_case "cache geometry" `Quick test_config_geometry;
+    Alcotest.test_case "line cache basics" `Quick test_line_cache_basics;
+    Alcotest.test_case "restricted placement" `Quick
+      test_line_cache_restricted_placement;
+    Alcotest.test_case "line cache LRU" `Quick test_line_cache_lru;
+    Alcotest.test_case "ATB hit/miss" `Quick test_atb_hit_miss;
+    Alcotest.test_case "ATB capacity and LRU" `Quick test_atb_capacity;
+    Alcotest.test_case "2-bit predictor learns" `Quick test_predictor_learns_loop;
+    Alcotest.test_case "L0 buffer" `Quick test_l0_buffer;
+    Alcotest.test_case "bus flip counting" `Quick test_bus_flips;
+    Alcotest.test_case "bus zero image" `Quick test_bus_zero_image;
+    Alcotest.test_case "ideal simulator" `Quick test_ideal_ipc;
+    Alcotest.test_case "simulator bounds" `Quick test_sim_bounds;
+    Alcotest.test_case "compressed model uses L0" `Quick
+      test_sim_compressed_uses_buffer;
+    Alcotest.test_case "simulation deterministic" `Quick test_sim_deterministic;
+    Alcotest.test_case "DSP kernel lives in L0 (paper §4)" `Quick
+      test_kernel_fits_l0;
+  ]

@@ -1,0 +1,271 @@
+(* Huffman substrate tests: frequency tables, tree construction, canonical
+   codes, length-limited codes, codebooks, and the decoder cost model. *)
+
+let check = Alcotest.(check int)
+
+(* --- Freq --- *)
+
+let test_freq () =
+  let f = Huffman.Freq.create () in
+  Huffman.Freq.add f 1;
+  Huffman.Freq.add f 1;
+  Huffman.Freq.add_many f 2 5;
+  check "count 1" 2 (Huffman.Freq.count f 1);
+  check "count 2" 5 (Huffman.Freq.count f 2);
+  check "count unseen" 0 (Huffman.Freq.count f 9);
+  check "total" 7 (Huffman.Freq.total f);
+  check "distinct" 2 (Huffman.Freq.distinct f);
+  Alcotest.(check (list (pair int int)))
+    "sorted by count desc" [ (2, 5); (1, 2) ] (Huffman.Freq.to_list f)
+
+let test_entropy () =
+  let f = Huffman.Freq.create () in
+  Huffman.Freq.add_many f 0 1;
+  Huffman.Freq.add_many f 1 1;
+  Alcotest.(check (float 1e-9)) "fair coin" 1.0 (Huffman.Freq.entropy_bits f);
+  let g = Huffman.Freq.create () in
+  Huffman.Freq.add_many g 7 42;
+  Alcotest.(check (float 1e-9)) "constant" 0.0 (Huffman.Freq.entropy_bits g)
+
+(* --- Heap --- *)
+
+let test_heap_order () =
+  let h = Huffman.Heap.create () in
+  List.iter
+    (fun (p, v) -> Huffman.Heap.push h ~prio:p ~tie:v v)
+    [ (5, 50); (1, 10); (3, 30); (1, 11); (4, 40) ];
+  let order = List.init 5 (fun _ -> Huffman.Heap.pop h) in
+  Alcotest.(check (list int)) "min order with ties" [ 10; 11; 30; 40; 50 ] order
+
+(* --- Tree --- *)
+
+let test_tree_known () =
+  (* Classic example: weights 1,1,2,4 give lengths 3,3,2,1. *)
+  let t = Huffman.Tree.build [ (0, 1); (1, 1); (2, 2); (3, 4) ] in
+  let depths = List.sort compare (Huffman.Tree.depths t) in
+  Alcotest.(check (list (pair int int)))
+    "depths" [ (0, 3); (1, 3); (2, 2); (3, 1) ] depths;
+  check "weighted length" (3 + 3 + 4 + 4) (Huffman.Tree.weighted_length t)
+
+let test_tree_single () =
+  let t = Huffman.Tree.build [ (42, 10) ] in
+  Alcotest.(check (list (pair int int))) "single symbol gets 1 bit"
+    [ (42, 1) ] (Huffman.Tree.depths t)
+
+let test_tree_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Tree.build: empty alphabet")
+    (fun () -> ignore (Huffman.Tree.build []));
+  Alcotest.check_raises "zero count"
+    (Invalid_argument "Tree.build: non-positive count") (fun () ->
+      ignore (Huffman.Tree.build [ (1, 0) ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Tree.build: duplicate symbol") (fun () ->
+      ignore (Huffman.Tree.build [ (1, 2); (1, 3) ]))
+
+(* Optimality: tree's weighted length within 1 bit/symbol of entropy. *)
+let prop_tree_near_entropy =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 2 64)
+        (pair (int_range 0 10_000) (int_range 1 1000)))
+  in
+  QCheck.Test.make ~name:"tree length within entropy+1 bound" ~count:100
+    (QCheck.make gen) (fun freqs ->
+      let freqs =
+        List.sort_uniq (fun (a, _) (b, _) -> compare a b) freqs
+      in
+      QCheck.assume (List.length freqs >= 2);
+      let f = Huffman.Freq.create () in
+      List.iter (fun (s, c) -> Huffman.Freq.add_many f s c) freqs;
+      let t = Huffman.Tree.build freqs in
+      let total = float_of_int (Huffman.Freq.total f) in
+      let avg = float_of_int (Huffman.Tree.weighted_length t) /. total in
+      let h = Huffman.Freq.entropy_bits f in
+      avg >= h -. 1e-9 && avg <= h +. 1.0 +. 1e-9)
+
+(* --- Canonical --- *)
+
+let test_canonical_known () =
+  let c = Huffman.Canonical.of_lengths [ (10, 2); (20, 1); (30, 3); (40, 3) ] in
+  (* canonical order: 20(len1)=0, 10(len2)=10b, 30(len3)=110b, 40=111b *)
+  Alcotest.(check (pair int int)) "len1" (0b0, 1) (Huffman.Canonical.code c 20);
+  Alcotest.(check (pair int int)) "len2" (0b10, 2) (Huffman.Canonical.code c 10);
+  Alcotest.(check (pair int int)) "len3a" (0b110, 3) (Huffman.Canonical.code c 30);
+  Alcotest.(check (pair int int)) "len3b" (0b111, 3) (Huffman.Canonical.code c 40);
+  check "entries" 4 (Huffman.Canonical.entries c);
+  check "complete code kraft" (1 lsl 3) (Huffman.Canonical.kraft_sum_num c)
+
+let test_canonical_kraft_violation () =
+  Alcotest.check_raises "over-subscribed"
+    (Invalid_argument "Canonical.of_lengths: Kraft inequality violated")
+    (fun () ->
+      ignore (Huffman.Canonical.of_lengths [ (1, 1); (2, 1); (3, 1) ]))
+
+let test_canonical_read_write () =
+  let c = Huffman.Canonical.of_lengths [ (1, 1); (2, 2); (3, 3); (4, 3) ] in
+  let w = Bits.Writer.create () in
+  let syms = [ 1; 3; 2; 4; 1; 1; 2 ] in
+  List.iter (Huffman.Canonical.write c w) syms;
+  let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+  List.iter (fun s -> check "decode" s (Huffman.Canonical.read c r)) syms
+
+(* Prefix-freeness: no codeword is a prefix of another. *)
+let prop_canonical_prefix_free =
+  let gen = QCheck.Gen.(list_size (int_range 2 60) (int_range 0 100_000)) in
+  QCheck.Test.make ~name:"canonical codes are prefix-free" ~count:100
+    (QCheck.make gen) (fun syms ->
+      let syms = List.sort_uniq compare syms in
+      QCheck.assume (List.length syms >= 2);
+      let freqs = List.mapi (fun i s -> (s, i + 1)) syms in
+      let t = Huffman.Tree.build freqs in
+      let c = Huffman.Canonical.of_lengths (Huffman.Tree.depths t) in
+      let codes = Huffman.Canonical.to_list c in
+      List.for_all
+        (fun (_, bits_a, len_a) ->
+          List.for_all
+            (fun (_, bits_b, len_b) ->
+              bits_a = bits_b && len_a = len_b
+              || len_a > len_b
+              || bits_b lsr (len_b - len_a) <> bits_a)
+            codes)
+        codes)
+
+(* --- Package-merge --- *)
+
+let test_package_merge_cap () =
+  (* Skewed weights: unbounded Huffman would exceed 3 bits. *)
+  let freqs = [ (0, 1); (1, 1); (2, 2); (3, 4); (4, 8); (5, 16) ] in
+  let lens = Huffman.Package_merge.lengths ~max_len:3 freqs in
+  List.iter (fun (_, l) -> Alcotest.(check bool) "capped" true (l <= 3)) lens;
+  (* Kraft feasibility. *)
+  let kraft = List.fold_left (fun a (_, l) -> a +. (1. /. float_of_int (1 lsl l))) 0. lens in
+  Alcotest.(check bool) "kraft feasible" true (kraft <= 1.0 +. 1e-9)
+
+let test_package_merge_matches_huffman_when_loose () =
+  let freqs = [ (0, 1); (1, 1); (2, 2); (3, 4) ] in
+  let t = Huffman.Tree.build freqs in
+  let huff = List.sort compare (Huffman.Tree.depths t) in
+  let pm = List.sort compare (Huffman.Package_merge.lengths ~max_len:16 freqs) in
+  (* Same weighted total (both optimal). *)
+  let cost lens =
+    List.fold_left (fun a (s, l) -> a + (l * List.assoc s freqs)) 0 lens
+  in
+  check "same optimal cost" (cost huff) (cost pm)
+
+let test_package_merge_infeasible () =
+  Alcotest.check_raises "too many symbols for cap"
+    (Invalid_argument "Package_merge.lengths: alphabet too large for max_len")
+    (fun () ->
+      ignore
+        (Huffman.Package_merge.lengths ~max_len:2
+           [ (0, 1); (1, 1); (2, 1); (3, 1); (4, 1) ]))
+
+let prop_package_merge_cap_and_kraft =
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 4 14)
+        (list_size (int_range 2 200) (pair (int_range 0 100_000) (int_range 1 5000))))
+  in
+  QCheck.Test.make ~name:"package-merge: cap respected, Kraft feasible"
+    ~count:100 (QCheck.make gen) (fun (cap, freqs) ->
+      let freqs = List.sort_uniq (fun (a, _) (b, _) -> compare a b) freqs in
+      QCheck.assume (List.length freqs >= 2);
+      QCheck.assume (List.length freqs <= 1 lsl cap);
+      let lens = Huffman.Package_merge.lengths ~max_len:cap freqs in
+      let kraft =
+        List.fold_left (fun a (_, l) -> a +. (1. /. float_of_int (1 lsl l))) 0. lens
+      in
+      List.for_all (fun (_, l) -> l >= 1 && l <= cap) lens
+      && kraft <= 1.0 +. 1e-9
+      && List.length lens = List.length freqs)
+
+(* --- Codebook --- *)
+
+let test_codebook_roundtrip () =
+  let f = Huffman.Freq.create () in
+  String.iter
+    (fun c -> Huffman.Freq.add f (Char.code c))
+    "abracadabra alakazam abracadabra";
+  let book = Huffman.Codebook.make ~max_len:12 ~symbol_bits:(fun _ -> 8) f in
+  let w = Bits.Writer.create () in
+  String.iter (fun c -> Huffman.Codebook.write book w (Char.code c)) "abracadabra";
+  let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+  String.iter
+    (fun c -> check "sym" (Char.code c) (Huffman.Codebook.read book r))
+    "abracadabra"
+
+let test_codebook_stats () =
+  let f = Huffman.Freq.create () in
+  Huffman.Freq.add_many f 0 100;
+  Huffman.Freq.add_many f 1 1;
+  let book = Huffman.Codebook.make ~symbol_bits:(fun _ -> 8) f in
+  let s = Huffman.Codebook.stats book in
+  check "entries" 2 s.Huffman.Codebook.entries;
+  check "max code len" 1 s.Huffman.Codebook.max_code_len;
+  check "payload bits" 101 s.Huffman.Codebook.payload_bits;
+  Alcotest.(check bool) "mean is 1.0" true
+    (abs_float (s.Huffman.Codebook.mean_code_len -. 1.0) < 1e-9)
+
+let prop_codebook_roundtrip =
+  let gen =
+    QCheck.Gen.(list_size (int_range 10 500) (int_range 0 40)) (* symbols *)
+  in
+  QCheck.Test.make ~name:"codebook encodes/decodes any stream" ~count:100
+    (QCheck.make gen) (fun stream ->
+      QCheck.assume (stream <> []);
+      let f = Huffman.Freq.create () in
+      List.iter (Huffman.Freq.add f) stream;
+      let book = Huffman.Codebook.make ~max_len:14 ~symbol_bits:(fun _ -> 8) f in
+      let w = Bits.Writer.create () in
+      List.iter (Huffman.Codebook.write book w) stream;
+      let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+      List.for_all (fun s -> Huffman.Codebook.read book r = s) stream)
+
+(* --- Decoder cost --- *)
+
+let test_decoder_cost_formula () =
+  (* T = 2m(2^n - 1) + 4m(2^n - 2^(n-1) - 1) + 2n, by hand for n=3, m=8:
+     2*8*7 + 4*8*(8-4-1) + 6 = 112 + 96 + 6 = 214. *)
+  check "n=3 m=8" 214 (Huffman.Decoder_cost.transistors ~n:3 ~m:8);
+  (* Monotone in both n and m. *)
+  Alcotest.(check bool) "monotone n" true
+    (Huffman.Decoder_cost.transistors ~n:10 ~m:8
+    > Huffman.Decoder_cost.transistors ~n:9 ~m:8);
+  Alcotest.(check bool) "monotone m" true
+    (Huffman.Decoder_cost.transistors ~n:10 ~m:9
+    > Huffman.Decoder_cost.transistors ~n:10 ~m:8)
+
+let test_decoder_cost_practical_range () =
+  (* The paper cites 10k-28k transistors for 114-entry, 1-16-bit tables;
+     the worst-case model must dominate that (it assumes no sharing). *)
+  let lo, hi = Huffman.Decoder_cost.practical_range in
+  Alcotest.(check bool) "model above practical designs" true
+    (Huffman.Decoder_cost.transistors ~n:16 ~m:16 > hi && lo < hi)
+
+let suite =
+  [
+    Alcotest.test_case "freq counting" `Quick test_freq;
+    Alcotest.test_case "freq entropy" `Quick test_entropy;
+    Alcotest.test_case "heap ordering" `Quick test_heap_order;
+    Alcotest.test_case "tree: known example" `Quick test_tree_known;
+    Alcotest.test_case "tree: single symbol" `Quick test_tree_single;
+    Alcotest.test_case "tree: input validation" `Quick test_tree_rejects;
+    Alcotest.test_case "canonical: known code" `Quick test_canonical_known;
+    Alcotest.test_case "canonical: kraft violation" `Quick
+      test_canonical_kraft_violation;
+    Alcotest.test_case "canonical: read/write" `Quick test_canonical_read_write;
+    Alcotest.test_case "package-merge: cap" `Quick test_package_merge_cap;
+    Alcotest.test_case "package-merge: optimal when loose" `Quick
+      test_package_merge_matches_huffman_when_loose;
+    Alcotest.test_case "package-merge: infeasible" `Quick
+      test_package_merge_infeasible;
+    Alcotest.test_case "codebook roundtrip" `Quick test_codebook_roundtrip;
+    Alcotest.test_case "codebook stats" `Quick test_codebook_stats;
+    Alcotest.test_case "decoder cost formula" `Quick test_decoder_cost_formula;
+    Alcotest.test_case "decoder cost practical range" `Quick
+      test_decoder_cost_practical_range;
+    QCheck_alcotest.to_alcotest prop_tree_near_entropy;
+    QCheck_alcotest.to_alcotest prop_canonical_prefix_free;
+    QCheck_alcotest.to_alcotest prop_package_merge_cap_and_kraft;
+    QCheck_alcotest.to_alcotest prop_codebook_roundtrip;
+  ]

@@ -1,0 +1,158 @@
+(* Workload generator tests: determinism, well-formedness, profile knobs
+   and register-window discipline. *)
+
+let check = Alcotest.(check int)
+
+let test_profiles_validate () =
+  List.iter Workloads.Profile.validate Workloads.Spec.all;
+  check "eight benchmarks" 8 (List.length Workloads.Spec.all)
+
+let test_profile_validation_rejects () =
+  let bad = { Workloads.Spec.compress with Workloads.Profile.taken_bias = 1.5 } in
+  Alcotest.check_raises "bias out of range"
+    (Invalid_argument "Profile: taken_bias must be in [0,1]: 1.500000")
+    (fun () -> Workloads.Profile.validate bad)
+
+let test_profile_scale () =
+  let p = Workloads.Spec.compress in
+  let q = Workloads.Profile.scale ~factor:2.0 p in
+  check "static doubled" (2 * p.Workloads.Profile.static_ops)
+    q.Workloads.Profile.static_ops
+
+let test_generation_deterministic () =
+  let a = Workloads.Gen.generate Workloads.Spec.compress in
+  let b = Workloads.Gen.generate Workloads.Spec.compress in
+  check "same block count"
+    (Vliw_compiler.Cfg.num_blocks a.Workloads.Gen.cfg)
+    (Vliw_compiler.Cfg.num_blocks b.Workloads.Gen.cfg);
+  check "same inst count"
+    (Vliw_compiler.Cfg.num_insts a.Workloads.Gen.cfg)
+    (Vliw_compiler.Cfg.num_insts b.Workloads.Gen.cfg);
+  (* Deep equality of the whole CFG. *)
+  Alcotest.(check bool) "identical programs" true
+    (a.Workloads.Gen.cfg.Vliw_compiler.Cfg.blocks
+    = b.Workloads.Gen.cfg.Vliw_compiler.Cfg.blocks)
+
+let test_different_seeds_differ () =
+  let a = Workloads.Gen.generate Workloads.Spec.compress in
+  let b =
+    Workloads.Gen.generate { Workloads.Spec.compress with Workloads.Profile.seed = 999 }
+  in
+  Alcotest.(check bool) "different programs" false
+    (a.Workloads.Gen.cfg.Vliw_compiler.Cfg.blocks
+    = b.Workloads.Gen.cfg.Vliw_compiler.Cfg.blocks)
+
+let test_static_size_near_target () =
+  List.iter
+    (fun p ->
+      let w = Workloads.Gen.generate p in
+      let n = Vliw_compiler.Cfg.num_insts w.Workloads.Gen.cfg in
+      let target = p.Workloads.Profile.static_ops in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d insts vs target %d" p.Workloads.Profile.name n
+           target)
+        true
+        (float_of_int n > 0.6 *. float_of_int target
+        && float_of_int n < 1.6 *. float_of_int target))
+    Workloads.Spec.all
+
+let test_group_tagging () =
+  let w = Workloads.Gen.generate Workloads.Spec.li in
+  let cfg = w.Workloads.Gen.cfg in
+  let n = Vliw_compiler.Cfg.num_blocks cfg in
+  (* Entry is main. *)
+  check "entry in group 0" 0 (w.Workloads.Gen.group_of_block 0);
+  (* Every Call target must be tagged group 1 (callees). *)
+  for i = 0 to n - 1 do
+    match (Vliw_compiler.Cfg.block cfg i).Vliw_compiler.Cfg.term with
+    | Vliw_compiler.Cfg.Call { target; _ } ->
+        check
+          (Printf.sprintf "callee entry %d tagged group 1" target)
+          1
+          (w.Workloads.Gen.group_of_block target)
+    | _ -> ()
+  done
+
+let test_windows_disjoint () =
+  List.iter
+    (fun cls ->
+      let w0 = Workloads.Gen.window cls 0 in
+      let w1 = Workloads.Gen.window cls 1 in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "windows disjoint" false (List.mem r w1))
+        w0;
+      Alcotest.(check bool) "link reg in no window" false
+        (List.mem Workloads.Gen.link_register (w0 @ w1)
+        && cls = Tepic.Reg.Gpr))
+    [ Tepic.Reg.Gpr; Tepic.Reg.Fpr; Tepic.Reg.Pr ]
+
+let test_generated_cfg_compiles_and_runs () =
+  (* A tiny profile end to end, as the property (fast). *)
+  let p =
+    {
+      Workloads.Spec.compress with
+      Workloads.Profile.name = "tiny";
+      static_ops = 300;
+      outer_trips = 3;
+      dyn_ops_target = 5_000;
+      num_callees = 1;
+    }
+  in
+  let w = Workloads.Gen.generate p in
+  let c = Cccs.Pipeline.compile w in
+  let res = Emulator.Exec.run ~max_blocks:200_000 c.Cccs.Pipeline.program in
+  Alcotest.(check bool) "terminates" true
+    (res.Emulator.Exec.stop = Emulator.Exec.Fell_through);
+  let ref_res =
+    Emulator.Ref_interp.run ~max_blocks:200_000 c.Cccs.Pipeline.alloc_cfg
+  in
+  Alcotest.(check bool) "differential memory" true
+    (Emulator.Ref_interp.mem_checksum ref_res
+    = Emulator.Machine.mem_checksum res.Emulator.Exec.machine)
+
+let test_kernels_wellformed () =
+  List.iter
+    (fun (name, k) ->
+      let w = Lazy.force k in
+      Alcotest.(check bool) (name ^ " has blocks") true
+        (Vliw_compiler.Cfg.num_blocks w.Workloads.Gen.cfg > 0))
+    Workloads.Kernels.all
+
+let test_kernel_validation () =
+  Alcotest.check_raises "fir rejects zero taps" (Invalid_argument "Kernels.fir")
+    (fun () -> ignore (Workloads.Kernels.fir ~taps:0 ~samples:1))
+
+let test_calibration () =
+  let p =
+    { Workloads.Spec.compress with Workloads.Profile.dyn_ops_target = 50_000 }
+  in
+  let cal = Cccs.Workload_run.calibrate p in
+  let w = Workloads.Gen.generate cal in
+  let c = Cccs.Pipeline.compile w in
+  let res = Emulator.Exec.run ~max_blocks:1_000_000 c.Cccs.Pipeline.program in
+  let dyn = Emulator.Trace.total_ops res.Emulator.Exec.trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 3x of target: %d" dyn)
+    true
+    (dyn > 50_000 / 3 && dyn < 50_000 * 3)
+
+let suite =
+  [
+    Alcotest.test_case "profiles validate" `Quick test_profiles_validate;
+    Alcotest.test_case "profile validation rejects" `Quick
+      test_profile_validation_rejects;
+    Alcotest.test_case "profile scaling" `Quick test_profile_scale;
+    Alcotest.test_case "generation is deterministic" `Quick
+      test_generation_deterministic;
+    Alcotest.test_case "seeds matter" `Quick test_different_seeds_differ;
+    Alcotest.test_case "static size near target" `Slow
+      test_static_size_near_target;
+    Alcotest.test_case "callee group tagging" `Quick test_group_tagging;
+    Alcotest.test_case "register windows disjoint" `Quick test_windows_disjoint;
+    Alcotest.test_case "generated program end-to-end" `Quick
+      test_generated_cfg_compiles_and_runs;
+    Alcotest.test_case "kernels well-formed" `Quick test_kernels_wellformed;
+    Alcotest.test_case "kernel validation" `Quick test_kernel_validation;
+    Alcotest.test_case "dynamic calibration" `Slow test_calibration;
+  ]
