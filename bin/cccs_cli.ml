@@ -1,7 +1,7 @@
 (* cccs — command-line driver for the code-compression study.
 
-   Subcommands: list, compile, compress, simulate, decoder, and the
-   per-figure experiment reproductions (fig5..fig14, all). *)
+   Subcommands: list, compile, compress, simulate, decoder, lint, and
+   the per-figure experiment reproductions (fig5..fig14, all). *)
 
 open Cmdliner
 
@@ -199,6 +199,69 @@ let verify_cmd =
           semantics) and decode-check every scheme")
     Term.(const run $ bench_arg)
 
+let lint_cmd =
+  let bench_opt_arg =
+    let doc = "Workload name (see `cccs list`).  Omit with $(b,--all)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let all_arg =
+    let doc = "Lint every workload in the suite." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let pass_arg =
+    let doc = "Run only the named pass (see `cccs lint --passes`)." in
+    Arg.(value & opt (some string) None & info [ "pass" ] ~docv:"PASS" ~doc)
+  in
+  let passes_arg =
+    let doc = "List the registered analysis passes and exit." in
+    Arg.(value & flag & info [ "passes" ] ~doc)
+  in
+  let run bench all pass list_passes =
+    if list_passes then begin
+      List.iter
+        (fun (name, doc) -> Printf.printf "%-16s %s\n" name doc)
+        Cccs.Analysis.pass_names;
+      exit 0
+    end;
+    let entries =
+      if all then Workloads.Suite.all
+      else
+        match bench with
+        | Some b -> [ find_workload b ]
+        | None ->
+            Printf.eprintf "lint: give a BENCH or --all\n";
+            exit 2
+    in
+    let collector = Cccs.Analysis.Diag.Collector.create () in
+    List.iter
+      (fun (e : Workloads.Suite.entry) ->
+        let r = Cccs.Workload_run.load e in
+        let target = Cccs.Analysis.target_of_run r in
+        let diags =
+          match pass with
+          | None -> Cccs.Analysis.run_all target
+          | Some p -> (
+              match Cccs.Analysis.run_pass p target with
+              | Some ds -> ds
+              | None ->
+                  Printf.eprintf "lint: unknown pass %S; try --passes\n" p;
+                  exit 2)
+        in
+        Cccs.Analysis.Diag.Collector.add_list collector diags;
+        List.iter
+          (fun d -> print_endline (Cccs.Analysis.Diag.to_string d))
+          diags)
+      entries;
+    Format.printf "%a@." Cccs.Analysis.Diag.Collector.pp_summary collector;
+    exit (Cccs.Analysis.Diag.Collector.exit_status collector)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the whole-pipeline static verifier (dataflow, schedule, \
+          encoding and decoder checks) on one workload or the whole suite")
+    Term.(const run $ bench_opt_arg $ all_arg $ pass_arg $ passes_arg)
+
 let disasm_cmd =
   let run bench =
     let r = Cccs.Workload_run.load (find_workload bench) in
@@ -259,6 +322,7 @@ let () =
       decoder_cmd;
       trace_cmd;
       verify_cmd;
+      lint_cmd;
       disasm_cmd;
       export_cmd;
       fig_cmd "fig5" "Reproduce Figure 5 (compression ratios)" (fun ppf ->

@@ -2,11 +2,21 @@
 
    For each workload: compile, execute, differentially check the scheduled
    VLIW program against the sequential reference interpreter (identical
-   memory, identical control-flow trace), and check that every encoding
-   scheme decodes the ROM back to the identical program.
+   memory, identical control-flow trace), check that every encoding scheme
+   decodes the ROM back to the identical program, and run the static
+   verifier (Cccs.Analysis) over the CFG, schedule, encodings and decoder.
 
    This is the long-form version of what `dune runtest` samples; CI or a
    release check can run it directly:  dune exec bin/verify_all.exe *)
+
+type row = {
+  name : string;
+  mem_ok : bool;
+  trace_ok : bool;
+  schemes_ok : bool;
+  lint_ok : bool;
+  lint_warnings : int;
+}
 
 let check_workload (e : Workloads.Suite.entry) =
   let t0 = Unix.gettimeofday () in
@@ -40,10 +50,15 @@ let check_workload (e : Workloads.Suite.entry) =
       true
     with Failure _ -> false
   in
-  let ok = mem_ok && trace_ok && schemes_ok in
+  let diags = Cccs.Analysis.lint_run r in
+  let lint_errors = List.filter Cccs.Analysis.Diag.is_error diags in
+  let lint_ok = lint_errors = [] in
+  List.iter
+    (fun d -> print_endline ("  " ^ Cccs.Analysis.Diag.to_string d))
+    lint_errors;
   Printf.printf
     "%-12s blocks=%5d ops=%6d ilp=%4.2f hoist=%4d | dyn_ops=%8d visits=%7d \
-     %s | mem %s trace %s schemes %s | %.2fs\n%!"
+     %s | mem %s trace %s schemes %s lint %s | %.2fs\n%!"
     r.Cccs.Workload_run.name
     (Tepic.Program.num_blocks prog)
     (Tepic.Program.num_ops prog)
@@ -57,11 +72,41 @@ let check_workload (e : Workloads.Suite.entry) =
     (if mem_ok then "OK" else "MISMATCH")
     (if trace_ok then "OK" else "MISMATCH")
     (if schemes_ok then "OK" else "MISMATCH")
+    (if lint_ok then "OK" else "FAIL")
     (Unix.gettimeofday () -. t0);
-  ok
+  {
+    name = r.Cccs.Workload_run.name;
+    mem_ok;
+    trace_ok;
+    schemes_ok;
+    lint_ok;
+    lint_warnings = List.length diags - List.length lint_errors;
+  }
 
 let () =
-  let ok = List.for_all Fun.id (List.map check_workload Workloads.Suite.all) in
+  let rows = List.map check_workload Workloads.Suite.all in
+  let total = List.length rows in
+  let summary label ok_of =
+    let failed = List.filter (fun r -> not (ok_of r)) rows in
+    Printf.printf "check %-22s %d/%d pass%s\n" label
+      (total - List.length failed)
+      total
+      (if failed = [] then ""
+       else
+         ": FAIL " ^ String.concat ", " (List.map (fun r -> r.name) failed))
+  in
+  print_newline ();
+  summary "differential-memory" (fun r -> r.mem_ok);
+  summary "differential-trace" (fun r -> r.trace_ok);
+  summary "scheme-decode-back" (fun r -> r.schemes_ok);
+  summary "static-lint" (fun r -> r.lint_ok);
+  let warn = List.fold_left (fun acc r -> acc + r.lint_warnings) 0 rows in
+  if warn > 0 then Printf.printf "static-lint warnings: %d (non-fatal)\n" warn;
+  let ok =
+    List.for_all
+      (fun r -> r.mem_ok && r.trace_ok && r.schemes_ok && r.lint_ok)
+      rows
+  in
   if ok then print_endline "verify_all: all workloads verified"
   else begin
     print_endline "verify_all: FAILURES";

@@ -1,0 +1,44 @@
+(* Cccs_analysis — the whole-pipeline static verifier.
+
+   A diagnostics-based lint over every stage of the compression pipeline:
+   IR/CFG dataflow, VLIW schedule packing, encoding tables and image
+   geometry, and the emitted decoder Verilog.  The paper's compiler owns
+   both the ROM image and the decoder PLA, so a bug anywhere in this chain
+   ships as a broken chip; these passes prove the invariants statically
+   instead of waiting for a differential trace to trip over them.
+
+   Passes share the {!Pass.S} signature and run over a {!Pass.target}
+   (one workload's artifacts); {!run_all} drives the registry. *)
+
+module Diag = Diag
+module Pass = Pass
+module Dataflow_check = Dataflow_check
+module Schedule_check = Schedule_check
+module Encoding_check = Encoding_check
+module Decoder_check = Decoder_check
+
+(* The pass registry, in pipeline order.  New passes (bus-energy lint, ATB
+   reachability, ...) append here. *)
+let passes : (module Pass.S) list =
+  [
+    Dataflow_check.pass;
+    Schedule_check.pass;
+    Encoding_check.pass;
+    Decoder_check.pass;
+  ]
+
+let pass_names =
+  List.map (fun (module P : Pass.S) -> (P.name, P.doc)) passes
+
+(* [run_all target] — every registered pass, diagnostics concatenated in
+   pass order. *)
+let run_all target =
+  List.concat_map (fun (module P : Pass.S) -> P.run target) passes
+
+(* [run_pass name target] — a single pass by name. *)
+let run_pass name target =
+  match
+    List.find_opt (fun (module P : Pass.S) -> P.name = name) passes
+  with
+  | Some (module P) -> Some (P.run target)
+  | None -> None

@@ -1,0 +1,168 @@
+(* Generated-decoder (Verilog) checker.
+
+   The compiler ships the decoder it emits ({!Encoding.Decoder_gen}) into
+   the core's PLA, so a ROM function whose case statement misses a live
+   codeword silently decodes it through the [default:] arm — a wrong but
+   well-formed chip.  This pass parses the emitted Verilog back and proves
+   that no live codeword can reach a default:
+
+   - CCCS-E050  a dense-map index the program uses has no case arm
+   - CCCS-E051  the OPT dispatch lacks an arm for a live operation type
+
+   Live codewords are defined by the tailored spec itself: dense indices
+   [0, n) for every non-raw map, and the OPT codes of every operation type
+   with an opcode map. *)
+
+type arm = Default | Index of int
+
+(* One trimmed Verilog line: "5'd3: map_x = 5'd7;" -> Index 3,
+   "default: ..." -> Default. *)
+let parse_arm line =
+  match String.index_opt line ':' with
+  | None -> None
+  | Some i -> (
+      let sel = String.trim (String.sub line 0 i) in
+      if sel = "default" then Some Default
+      else
+        match String.index_opt sel '\'' with
+        | Some j
+          when j + 1 < String.length sel
+               && (sel.[j + 1] = 'd' || sel.[j + 1] = 'b' || sel.[j + 1] = 'h')
+          -> (
+            let digits = String.sub sel (j + 2) (String.length sel - j - 2) in
+            let literal =
+              match sel.[j + 1] with
+              | 'b' -> "0b" ^ digits
+              | 'h' -> "0x" ^ digits
+              | _ -> digits
+            in
+            match int_of_string_opt literal with
+            | Some v -> Some (Index v)
+            | None -> None)
+        | _ -> None)
+
+type tables = {
+  functions : (string, int list) Hashtbl.t;  (* map name -> case arms *)
+  opt_arms : int list;
+}
+
+let parse_verilog text =
+  let functions = Hashtbl.create 16 in
+  let opt_arms = ref [] in
+  let current_fn = ref None in
+  let in_opt = ref false in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         let line = String.trim raw in
+         let starts p =
+           String.length line >= String.length p
+           && String.sub line 0 (String.length p) = p
+         in
+         if starts "function" then begin
+           (* "function [4:0] map_reg_r(input [4:0] i);" *)
+           match String.index_opt line '(' with
+           | Some close -> (
+               let prefix = String.sub line 0 close in
+               match String.rindex_opt prefix ' ' with
+               | Some sp ->
+                   let name =
+                     String.sub prefix (sp + 1) (close - sp - 1)
+                   in
+                   current_fn := Some name;
+                   Hashtbl.replace functions name []
+               | None -> ())
+           | None -> ()
+         end
+         else if starts "endfunction" then current_fn := None
+         else if starts "case (opt)" then in_opt := true
+         else if starts "endcase" && !in_opt then in_opt := false
+         else
+           match parse_arm line with
+           | Some (Index v) -> (
+               if !in_opt then opt_arms := v :: !opt_arms
+               else
+                 match !current_fn with
+                 | Some name ->
+                     Hashtbl.replace functions name
+                       (v :: Hashtbl.find functions name)
+                 | None -> ())
+           | Some Default | None -> ());
+  { functions; opt_arms = !opt_arms }
+
+let tyname = function
+  | Tepic.Opcode.Int -> "int"
+  | Tepic.Opcode.Float -> "float"
+  | Tepic.Opcode.Mem -> "mem"
+  | Tepic.Opcode.Branch -> "branch"
+
+(* Every ROM the spec implies, with its Verilog function name and live
+   index count.  Raw maps (empty [to_old]) have no ROM and no live
+   indices. *)
+let expected_maps (spec : Encoding.Tailored.spec) =
+  List.map
+    (fun (ty, m) -> ("map_opc_" ^ tyname ty, m))
+    spec.Encoding.Tailored.opcode_maps
+  @ List.map
+      (fun (cls, m) -> ("map_reg_" ^ Tepic.Reg.cls_to_string cls, m))
+      spec.Encoding.Tailored.reg_maps
+  @ List.map
+      (fun (fname, m) -> ("map_fld_" ^ String.lowercase_ascii fname, m))
+      spec.Encoding.Tailored.field_maps
+  |> List.filter (fun (_, m) ->
+         Array.length m.Encoding.Tailored.to_old > 0)
+
+let check_verilog ~workload (spec : Encoding.Tailored.spec) text =
+  let diags = ref [] in
+  let emit code msg =
+    diags :=
+      Diag.make ~code ~loc:(Diag.loc workload) ("decoder: " ^ msg) :: !diags
+  in
+  let t = parse_verilog text in
+  List.iter
+    (fun (name, m) ->
+      let n = Array.length m.Encoding.Tailored.to_old in
+      match Hashtbl.find_opt t.functions name with
+      | None ->
+          emit "CCCS-E050"
+            (Printf.sprintf
+               "ROM function %s is missing: all %d live codewords decode \
+                through default"
+               name n)
+      | Some arms ->
+          for i = 0 to n - 1 do
+            if not (List.mem i arms) then
+              emit "CCCS-E050"
+                (Printf.sprintf
+                   "live codeword %d of %s has no case arm and decodes \
+                    through default (original value %d)"
+                   i name
+                   m.Encoding.Tailored.to_old.(i))
+          done)
+    (expected_maps spec);
+  List.iter
+    (fun (ty, _) ->
+      let code = Tepic.Opcode.optype_code ty in
+      if not (List.mem code t.opt_arms) then
+        emit "CCCS-E051"
+          (Printf.sprintf
+             "operation type %s (OPT %d) has no arm in the OPT dispatch"
+             (tyname ty) code))
+    spec.Encoding.Tailored.opcode_maps;
+  List.rev !diags
+
+let check ~workload (spec : Encoding.Tailored.spec) =
+  check_verilog ~workload spec
+    (Encoding.Decoder_gen.tailored_decoder
+       ~module_name:(workload ^ "_tailored_decoder")
+       spec)
+
+let pass : (module Pass.S) =
+  (module struct
+    let name = "decoder"
+    let doc = "emitted Verilog decoder covers every live codeword"
+
+    let run (t : Pass.target) =
+      match t.Pass.tailored with
+      | None -> []
+      | Some spec -> check ~workload:t.Pass.workload spec
+  end)

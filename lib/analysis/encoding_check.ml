@@ -1,0 +1,393 @@
+(* Encoding/decoder consistency checker.
+
+   Statically proves the invariants every decoder in the study relies on,
+   instead of hoping a decode-back trace exercises them:
+
+   - Huffman code tables (CCCS-E020/E021/W022/E023/E024): prefix-freeness,
+     the Kraft budget (equality = a complete, gap-free decode space),
+     canonical first-code-per-length ordering, and agreement between a
+     scheme's declared decoder parameters and its actual tables
+   - ROM image geometry (CCCS-E030..E033): block offsets byte-aligned,
+     monotone and non-overlapping, with per-block sizes plus alignment
+     padding summing exactly to the image
+   - Tailored ISA specs (CCCS-E040..E043): dense maps injective and within
+     their declared widths, every value the program actually uses present
+     in its map, and the per-format width table consistent with the field
+     layout *)
+
+let align8 bits = (bits + 7) / 8 * 8
+
+(* {1 Code tables} *)
+
+(* [check_code_table ~workload ~scheme table] — [table] lists
+   (symbol, code, length) rows in canonical order, as produced by
+   {!Huffman.Canonical.to_list}. *)
+let check_code_table ~workload ~scheme (table : (int * int * int) list) =
+  let diags = ref [] in
+  let emit code msg =
+    diags :=
+      Diag.make ~code ~loc:(Diag.loc workload) (scheme ^ ": " ^ msg)
+      :: !diags
+  in
+  let ok_lengths =
+    List.for_all
+      (fun (sym, _, len) ->
+        if len <= 0 || len > 62 then begin
+          emit "CCCS-E023"
+            (Printf.sprintf "symbol %d has impossible code length %d" sym len);
+          false
+        end
+        else true)
+      table
+  in
+  if ok_lengths && table <> [] then begin
+    let max_len = List.fold_left (fun a (_, _, l) -> max a l) 0 table in
+    (* Prefix-freeness: left-align every code to [max_len] bits; a prefix
+       pair becomes a nested interval, which sorting makes adjacent. *)
+    let padded =
+      List.map (fun (sym, code, len) -> (code lsl (max_len - len), sym, code, len)) table
+      |> List.sort compare
+    in
+    let rec adjacent = function
+      | (p1, s1, c1, l1) :: ((p2, s2, c2, l2) :: _ as rest) ->
+          if p2 lsr (max_len - l1) = c1 then
+            emit "CCCS-E020"
+              (Printf.sprintf
+                 "code %d/%db (symbol %d) is a prefix of code %d/%db \
+                  (symbol %d)"
+                 c1 l1 s1 c2 l2 s2);
+          ignore p1;
+          adjacent rest
+      | _ -> ()
+    in
+    adjacent padded;
+    (* Kraft budget: sum 2^(max_len - len) against 2^max_len. *)
+    let kraft =
+      List.fold_left (fun a (_, _, l) -> a + (1 lsl (max_len - l))) 0 table
+    in
+    let budget = 1 lsl max_len in
+    if kraft > budget then
+      emit "CCCS-E021"
+        (Printf.sprintf "Kraft sum %d exceeds the budget %d" kraft budget)
+    else if kraft < budget then
+      emit "CCCS-W022"
+        (Printf.sprintf
+           "Kraft sum %d of %d: %d codepoint(s) decode to nothing" kraft
+           budget (budget - kraft));
+    (* Canonical ordering: lengths non-decreasing, symbols increasing
+       within a length, and each code the increment-and-shift successor of
+       its predecessor, starting from zero. *)
+    (match table with
+    | (_, c0, _) :: _ when c0 <> 0 ->
+        emit "CCCS-E023" (Printf.sprintf "first canonical code is %d, not 0" c0)
+    | _ -> ());
+    let rec canonical = function
+      | (s1, c1, l1) :: ((s2, c2, l2) :: _ as rest) ->
+          if l2 < l1 then
+            emit "CCCS-E023"
+              (Printf.sprintf "length order violated at symbol %d (%d < %d)"
+                 s2 l2 l1)
+          else begin
+            if l2 = l1 && s2 <= s1 then
+              emit "CCCS-E023"
+                (Printf.sprintf
+                   "symbol order violated within length %d (%d after %d)" l1
+                   s2 s1);
+            let expect = (c1 + 1) lsl (l2 - l1) in
+            if c2 <> expect then
+              emit "CCCS-E023"
+                (Printf.sprintf
+                   "code for symbol %d is %d, canonical successor is %d" s2
+                   c2 expect)
+          end;
+          canonical rest
+      | _ -> ()
+    in
+    canonical table
+  end;
+  List.rev !diags
+
+let check_book ~workload ~scheme (stream, book) =
+  let label = Printf.sprintf "%s[%s]" scheme stream in
+  let table = Huffman.Canonical.to_list (Huffman.Codebook.canonical book) in
+  let diags = ref (check_code_table ~workload ~scheme:label table) in
+  let emit code msg =
+    diags :=
+      !diags
+      @ [ Diag.make ~code ~loc:(Diag.loc workload) (label ^ ": " ^ msg) ]
+  in
+  let stats = Huffman.Codebook.stats book in
+  let max_len = List.fold_left (fun a (_, _, l) -> max a l) 0 table in
+  if stats.Huffman.Codebook.entries <> List.length table then
+    emit "CCCS-E024"
+      (Printf.sprintf "declares %d entries, table has %d"
+         stats.Huffman.Codebook.entries (List.length table));
+  if stats.Huffman.Codebook.max_code_len <> max_len then
+    emit "CCCS-E024"
+      (Printf.sprintf "declares max code length %d, table has %d"
+         stats.Huffman.Codebook.max_code_len max_len);
+  !diags
+
+(* {1 Image geometry} *)
+
+let check_geometry ~workload (s : Encoding.Scheme.t) =
+  let diags = ref [] in
+  let emit ?block ?bit code msg =
+    diags :=
+      Diag.make ~code ~loc:(Diag.loc ?block ?bit workload)
+        (s.Encoding.Scheme.name ^ ": " ^ msg)
+      :: !diags
+  in
+  let offsets = s.Encoding.Scheme.block_offset_bits in
+  let bits = s.Encoding.Scheme.block_bits in
+  let n = Array.length offsets in
+  let image_bits = 8 * String.length s.Encoding.Scheme.image in
+  if Array.length bits <> n then
+    emit "CCCS-E031"
+      (Printf.sprintf "%d block offsets but %d block sizes" n
+         (Array.length bits))
+  else begin
+    for i = 0 to n - 1 do
+      if offsets.(i) mod 8 <> 0 then
+        emit ~block:i ~bit:offsets.(i) "CCCS-E030"
+          (Printf.sprintf "block starts at bit %d, not a byte boundary"
+             offsets.(i));
+      if bits.(i) < 0 then
+        emit ~block:i "CCCS-E031"
+          (Printf.sprintf "negative block size %d" bits.(i));
+      let fence = if i = n - 1 then image_bits else offsets.(i + 1) in
+      let fence_name = if i = n - 1 then "the image end" else "the next block" in
+      if offsets.(i) + bits.(i) > fence then
+        emit ~block:i ~bit:offsets.(i) "CCCS-E031"
+          (Printf.sprintf "block [%d, %d) overruns %s at bit %d" offsets.(i)
+             (offsets.(i) + bits.(i)) fence_name fence)
+      else if align8 (offsets.(i) + bits.(i)) <> fence then
+        emit ~block:i ~bit:offsets.(i) "CCCS-E033"
+          (Printf.sprintf
+             "block ends at bit %d; %s sits at bit %d, beyond the \
+              alignment padding"
+             (offsets.(i) + bits.(i)) fence_name fence)
+    done;
+    if n > 0 && offsets.(0) <> 0 then
+      emit ~block:0 "CCCS-E031"
+        (Printf.sprintf "first block starts at bit %d, not 0" offsets.(0))
+  end;
+  if s.Encoding.Scheme.code_bits <> image_bits then
+    emit "CCCS-E032"
+      (Printf.sprintf "code_bits = %d but the image holds %d bits"
+         s.Encoding.Scheme.code_bits image_bits);
+  List.rev !diags
+
+(* Declared decoder parameters vs the scheme's actual code tables. *)
+let check_decoder_info ~workload (s : Encoding.Scheme.t) =
+  match s.Encoding.Scheme.books with
+  | [] -> []
+  | books ->
+      let stats = List.map (fun (_, b) -> Huffman.Codebook.stats b) books in
+      let entries =
+        List.fold_left (fun a st -> a + st.Huffman.Codebook.entries) 0 stats
+      in
+      let max_code =
+        List.fold_left
+          (fun a st -> max a st.Huffman.Codebook.max_code_len)
+          0 stats
+      in
+      let d = s.Encoding.Scheme.decoder in
+      let emit msg =
+        [
+          Diag.make ~code:"CCCS-E024" ~loc:(Diag.loc workload)
+            (s.Encoding.Scheme.name ^ ": " ^ msg);
+        ]
+      in
+      (if d.Encoding.Scheme.dict_entries <> entries then
+         emit
+           (Printf.sprintf "declares %d dictionary entries, tables hold %d"
+              d.Encoding.Scheme.dict_entries entries)
+       else [])
+      @
+      if d.Encoding.Scheme.max_code_bits <> max_code then
+        emit
+          (Printf.sprintf "declares max code length %d, tables reach %d"
+             d.Encoding.Scheme.max_code_bits max_code)
+      else []
+
+let check_scheme ~workload (s : Encoding.Scheme.t) =
+  check_geometry ~workload s
+  @ List.concat_map
+      (check_book ~workload ~scheme:s.Encoding.Scheme.name)
+      s.Encoding.Scheme.books
+  @ check_decoder_info ~workload s
+
+(* {1 Tailored ISA specs} *)
+
+let check_dense_map ~workload ~name (m : Encoding.Tailored.dense_map) =
+  let diags = ref [] in
+  let emit code msg =
+    diags :=
+      Diag.make ~code ~loc:(Diag.loc workload)
+        (Printf.sprintf "map %s: %s" name msg)
+      :: !diags
+  in
+  let n = Array.length m.Encoding.Tailored.to_old in
+  if n > 0 then begin
+    (* Injectivity both ways: to_old holds distinct values, and to_new
+       inverts it exactly. *)
+    let seen = Hashtbl.create (2 * n) in
+    Array.iteri
+      (fun i v ->
+        (match Hashtbl.find_opt seen v with
+        | Some j ->
+            emit "CCCS-E040"
+              (Printf.sprintf "value %d appears at indices %d and %d" v j i)
+        | None -> Hashtbl.add seen v i);
+        match Hashtbl.find_opt m.Encoding.Tailored.to_new v with
+        | Some i' when i' = i -> ()
+        | Some i' ->
+            emit "CCCS-E040"
+              (Printf.sprintf "to_new maps value %d to %d, to_old holds it \
+                               at %d"
+                 v i' i)
+        | None ->
+            emit "CCCS-E040"
+              (Printf.sprintf "value %d at index %d is missing from to_new" v
+                 i))
+      m.Encoding.Tailored.to_old;
+    if Hashtbl.length m.Encoding.Tailored.to_new <> n then
+      emit "CCCS-E040"
+        (Printf.sprintf "to_new has %d entries, to_old has %d"
+           (Hashtbl.length m.Encoding.Tailored.to_new)
+           n);
+    let width = m.Encoding.Tailored.width in
+    let capacity = if width = 0 then 1 else 1 lsl width in
+    if n > capacity then
+      emit "CCCS-E041"
+        (Printf.sprintf "%d entries exceed the %d-bit field (capacity %d)" n
+           width capacity)
+  end;
+  List.rev !diags
+
+let check_tailored ~workload ?program (spec : Encoding.Tailored.spec) =
+  let diags = ref [] in
+  let emit ?block ?inst code msg =
+    diags :=
+      Diag.make ~code ~loc:(Diag.loc ?block ?inst workload)
+        ("tailored: " ^ msg)
+      :: !diags
+  in
+  let maps =
+    List.map
+      (fun (ty, m) ->
+        ( Printf.sprintf "opcode/%s"
+            (match ty with
+            | Tepic.Opcode.Int -> "int"
+            | Tepic.Opcode.Float -> "float"
+            | Tepic.Opcode.Mem -> "mem"
+            | Tepic.Opcode.Branch -> "branch"),
+          m ))
+      spec.Encoding.Tailored.opcode_maps
+    @ List.map
+        (fun (cls, m) ->
+          (Printf.sprintf "reg/%s" (Tepic.Reg.cls_to_string cls), m))
+        spec.Encoding.Tailored.reg_maps
+    @ List.map
+        (fun (fname, m) -> (Printf.sprintf "field/%s" fname, m))
+        spec.Encoding.Tailored.field_maps
+  in
+  let map_diags =
+    List.concat_map (fun (name, m) -> check_dense_map ~workload ~name m) maps
+  in
+  (* Width table: every format's stored width must equal what the maps
+     imply through the field layout. *)
+  List.iter
+    (fun (kind, stored) ->
+      let computed = Encoding.Tailored.op_bits spec kind in
+      if stored <> computed then
+        emit "CCCS-E043"
+          (Printf.sprintf "format %s declares %d bits, layout implies %d"
+             (Tepic.Format_spec.kind_to_string kind)
+             stored computed))
+    spec.Encoding.Tailored.widths;
+  (* Every value the program actually encodes must sit inside its map and
+     fit the declared field width. *)
+  (match program with
+  | None -> ()
+  | Some program ->
+      let check_value ~block ~inst what m v =
+        if Array.length m.Encoding.Tailored.to_old = 0 then begin
+          (* Raw pass-through field: the width alone bounds it. *)
+          let w = m.Encoding.Tailored.width in
+          if v >= (if w = 0 then 1 else 1 lsl w) then
+            emit ~block ~inst "CCCS-E041"
+              (Printf.sprintf "%s value %d does not fit the raw %d-bit field"
+                 what v w)
+        end
+        else if not (Hashtbl.mem m.Encoding.Tailored.to_new v) then
+          emit ~block ~inst "CCCS-E042"
+            (Printf.sprintf "%s value %d is absent from its dense map" what v)
+      in
+      Array.iter
+        (fun (b : Tepic.Program.block) ->
+          List.iteri
+            (fun inst op ->
+              let block = b.Tepic.Program.id in
+              if op.Tepic.Op.spec && not spec.Encoding.Tailored.spec_bit then
+                emit ~block ~inst "CCCS-E042"
+                  "op is speculative but the spec reserves no S bit";
+              let opcode = Tepic.Op.opcode op in
+              let ty = Tepic.Opcode.optype opcode in
+              (match
+                 List.assoc_opt ty spec.Encoding.Tailored.opcode_maps
+               with
+              | None ->
+                  emit ~block ~inst "CCCS-E042"
+                    (Printf.sprintf "no opcode map for optype of %s"
+                       (Tepic.Opcode.mnemonic opcode))
+              | Some m ->
+                  check_value ~block ~inst
+                    (Printf.sprintf "opcode %s" (Tepic.Opcode.mnemonic opcode))
+                    m (Tepic.Opcode.code opcode));
+              List.iter
+                (fun (r : Tepic.Reg.t) ->
+                  match
+                    List.assoc_opt r.Tepic.Reg.cls
+                      spec.Encoding.Tailored.reg_maps
+                  with
+                  | None ->
+                      emit ~block ~inst "CCCS-E042"
+                        (Printf.sprintf "no register map for class %s"
+                           (Tepic.Reg.cls_to_string r.Tepic.Reg.cls))
+                  | Some m ->
+                      check_value ~block ~inst
+                        (Printf.sprintf "register %s" (Tepic.Reg.to_string r))
+                        m r.Tepic.Reg.index)
+                (Tepic.Op.regs op);
+              List.iter
+                (fun ((fd : Tepic.Format_spec.field), v) ->
+                  match
+                    List.assoc_opt fd.Tepic.Format_spec.fname
+                      spec.Encoding.Tailored.field_maps
+                  with
+                  | Some m ->
+                      check_value ~block ~inst
+                        (Printf.sprintf "field %s" fd.Tepic.Format_spec.fname)
+                        m v
+                  | None -> ())
+                (Tepic.Op.fields op))
+            (Tepic.Program.block_ops b))
+        program.Tepic.Program.blocks);
+  map_diags @ List.rev !diags
+
+let pass : (module Pass.S) =
+  (module struct
+    let name = "encoding"
+    let doc = "Huffman tables, ROM geometry and tailored-ISA map consistency"
+
+    let run (t : Pass.target) =
+      List.concat_map (check_scheme ~workload:t.Pass.workload) t.Pass.schemes
+      @
+      match t.Pass.tailored with
+      | None -> []
+      | Some spec ->
+          check_tailored ~workload:t.Pass.workload ?program:t.Pass.program
+            spec
+  end)

@@ -1,0 +1,27 @@
+(* Common shape of every static-verifier pass.
+
+   A pass consumes a [target] — one workload's pipeline artifacts, each
+   optional so a pass can run on whatever subset a caller has — and returns
+   diagnostics.  New checkers (bus-energy lint, ATB reachability, ...) slot
+   in by satisfying {!S} and joining the registry in {!Cccs_analysis}. *)
+
+type target = {
+  workload : string;
+  cfg : Vliw_compiler.Cfg.t option;
+      (* the register-allocated CFG, pre-scheduling *)
+  entry_defined : Vliw_compiler.Ir.vreg list;
+      (* registers assumed defined at entry (precolored inputs) *)
+  program : Tepic.Program.t option;  (* the scheduled, packed program *)
+  schemes : Encoding.Scheme.t list;  (* every built encoding scheme *)
+  tailored : Encoding.Tailored.spec option;
+}
+
+let target ?cfg ?(entry_defined = []) ?program ?(schemes = []) ?tailored
+    workload =
+  { workload; cfg; entry_defined; program; schemes; tailored }
+
+module type S = sig
+  val name : string
+  val doc : string
+  val run : target -> Diag.t list
+end

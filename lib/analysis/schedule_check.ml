@@ -1,0 +1,174 @@
+(* Schedule / MOP-packing checker.
+
+   Runs on the packed program, re-deriving every invariant the zero-NOP
+   encoding and the 6-issue machine model rely on — independently of the
+   smart constructors ([Mop.make], [Program.make]) that try to enforce them
+   at build time:
+
+   - CCCS-E010/E011/E012  tail-bit discipline: exactly one tail bit per
+     MOP, on the final op, and no empty MOP is ever stored
+   - CCCS-E013/E014  per-cycle resource subscription: at most
+     [Mop.issue_width] ops, of which at most [Mop.mem_units] touch memory
+   - CCCS-E015  a branch may only sit in the final slot of the final MOP
+   - CCCS-E016  same-cycle producer/consumer hazards.  The zero-NOP
+     encoding stores no empty cycles, so cross-MOP latency gaps are
+     covered by interlock stalls and the only latency invariant that
+     survives into the packed program is the distance-0 one: no MOP may
+     write a register twice (nondeterministic under parallel issue), and
+     no MOP may define a register its own branch reads or writes — the
+     branch samples its predicate/counter/link at issue, before the
+     producer commits (the compiler's [branch_fits] rule)
+
+   The checker works on raw [Op.t list list] blocks so tests can feed it
+   shapes the constructors would reject. *)
+
+module Op = Tepic.Op
+module Opcode = Tepic.Opcode
+
+(* Registers read / written, at the TEPIC level.  Mirrors Ir.uses/Ir.defs
+   through the lowering: conversion placeholders are not data dependences,
+   TCS selects the memory ops' register file, BRL writes its link. *)
+let uses (op : Op.t) : Tepic.Reg.t list =
+  let pred = if op.Op.pred <> 0 then [ Tepic.Reg.pr op.Op.pred ] else [] in
+  let body =
+    match op.Op.body with
+    | Op.Alu { src1; src2; _ } | Op.Cmpp { src1; src2; _ } ->
+        [ Tepic.Reg.gpr src1; Tepic.Reg.gpr src2 ]
+    | Op.Ldi _ -> []
+    | Op.Fpu { opcode = Opcode.ITOF; src1; _ } -> [ Tepic.Reg.gpr src1 ]
+    | Op.Fpu { opcode = Opcode.FTOI; src1; _ } -> [ Tepic.Reg.fpr src1 ]
+    | Op.Fpu { src1; src2; _ } -> [ Tepic.Reg.fpr src1; Tepic.Reg.fpr src2 ]
+    | Op.Load { src1; _ } -> [ Tepic.Reg.gpr src1 ]
+    | Op.Store { src1; src2; tcs; _ } ->
+        [
+          Tepic.Reg.gpr src1;
+          (if tcs = 1 then Tepic.Reg.fpr src2 else Tepic.Reg.gpr src2);
+        ]
+    | Op.Branch { opcode = Opcode.BRLC; counter; _ } ->
+        [ Tepic.Reg.gpr counter ]
+    | Op.Branch { opcode = Opcode.RET; src1; _ } -> [ Tepic.Reg.gpr src1 ]
+    | Op.Branch _ -> []
+  in
+  pred @ body
+
+let defs (op : Op.t) : Tepic.Reg.t list =
+  match op.Op.body with
+  | Op.Alu { dest; _ } | Op.Ldi { dest; _ } -> [ Tepic.Reg.gpr dest ]
+  | Op.Cmpp { dest; _ } -> [ Tepic.Reg.pr dest ]
+  | Op.Fpu { opcode = Opcode.FTOI; dest; _ } -> [ Tepic.Reg.gpr dest ]
+  | Op.Fpu { dest; _ } -> [ Tepic.Reg.fpr dest ]
+  | Op.Load { dest; tcs; _ } ->
+      [ (if tcs = 1 then Tepic.Reg.fpr dest else Tepic.Reg.gpr dest) ]
+  | Op.Store _ -> []
+  | Op.Branch { opcode = Opcode.BRLC; counter; _ } ->
+      [ Tepic.Reg.gpr counter ]
+  | Op.Branch { opcode = Opcode.BRL; src1; _ } -> [ Tepic.Reg.gpr src1 ]
+  | Op.Branch _ -> []
+
+(* [check_block ~workload ~block mops] — [mops] is the block's cycles in
+   issue order, each a raw op list. *)
+let check_block ~workload ~block (mops : Op.t list list) =
+  let diags = ref [] in
+  let emit ?inst code msg =
+    diags :=
+      Diag.make ~code ~loc:(Diag.loc ~block ?inst workload) msg :: !diags
+  in
+  let nmops = List.length mops in
+  List.iteri
+    (fun m ops ->
+      let width = List.length ops in
+      if width = 0 then
+        emit ~inst:m "CCCS-E012"
+          "empty MOP: zero-NOP encoding must not store empty cycles"
+      else begin
+        if width > Tepic.Mop.issue_width then
+          emit ~inst:m "CCCS-E013"
+            (Printf.sprintf "MOP has %d ops; the core issues %d per cycle"
+               width Tepic.Mop.issue_width);
+        let mem_ops = List.length (List.filter Op.is_memory ops) in
+        if mem_ops > Tepic.Mop.mem_units then
+          emit ~inst:m "CCCS-E014"
+            (Printf.sprintf "MOP has %d memory ops; the core has %d memory \
+                             units"
+               mem_ops Tepic.Mop.mem_units);
+        List.iteri
+          (fun j op ->
+            let last = j = width - 1 in
+            if op.Op.tail && not last then
+              emit ~inst:m "CCCS-E010"
+                (Printf.sprintf "slot %d carries a tail bit before the MOP \
+                                 boundary"
+                   j);
+            if last && not op.Op.tail then
+              emit ~inst:m "CCCS-E011"
+                (Printf.sprintf "slot %d ends the MOP without a tail bit" j);
+            if Op.is_branch op && not (last && m = nmops - 1) then
+              emit ~inst:m "CCCS-E015"
+                (Printf.sprintf "branch %s must fill the final slot of the \
+                                 block"
+                   (Opcode.mnemonic (Op.opcode op))))
+          ops;
+        (* Same-cycle hazards.  Reads-of-old by plain ops are legal VLIW
+           semantics (WAR may share a cycle), so only two distance-0 shapes
+           are errors: a register written twice in one cycle, and a branch
+           sharing a cycle with a producer of a register it samples at
+           issue. *)
+        let cycle_defs = Hashtbl.create 8 in
+        List.iter
+          (fun op ->
+            List.iter
+              (fun r ->
+                (match Hashtbl.find_opt cycle_defs r with
+                | Some first_op ->
+                    emit ~inst:m "CCCS-E016"
+                      (Printf.sprintf
+                         "%s and %s both write %s in the same cycle; \
+                          parallel issue makes the result nondeterministic"
+                         (Opcode.mnemonic (Op.opcode first_op))
+                         (Opcode.mnemonic (Op.opcode op))
+                         (Tepic.Reg.to_string r))
+                | None -> ());
+                Hashtbl.replace cycle_defs r op)
+              (defs op))
+          ops;
+        List.iter
+          (fun op ->
+            if Op.is_branch op then
+              List.iter
+                (fun r ->
+                  match Hashtbl.find_opt cycle_defs r with
+                  | Some producer when producer != op ->
+                      emit ~inst:m "CCCS-E016"
+                        (Printf.sprintf
+                           "%s samples %s at issue, but %s writes it in the \
+                            same cycle"
+                           (Opcode.mnemonic (Op.opcode op))
+                           (Tepic.Reg.to_string r)
+                           (Opcode.mnemonic (Op.opcode producer)))
+                  | _ -> ())
+                (uses op))
+          ops
+      end)
+    mops;
+  List.rev !diags
+
+let check_program ~workload (program : Tepic.Program.t) =
+  let diags = ref [] in
+  Array.iter
+    (fun (b : Tepic.Program.block) ->
+      let mops = List.map Tepic.Mop.ops b.Tepic.Program.mops in
+      diags :=
+        !diags @ check_block ~workload ~block:b.Tepic.Program.id mops)
+    program.Tepic.Program.blocks;
+  !diags
+
+let pass : (module Pass.S) =
+  (module struct
+    let name = "schedule"
+    let doc = "MOP packing, resource subscription and same-cycle hazards"
+
+    let run (t : Pass.target) =
+      match t.Pass.program with
+      | None -> []
+      | Some p -> check_program ~workload:t.Pass.workload p
+  end)

@@ -1,0 +1,29 @@
+(** The whole-pipeline static verifier, wired to the workload drivers.
+
+    Re-exports {!Cccs_analysis} (diagnostics, pass signature, the four
+    checkers) and adds the glue that assembles a {!Cccs_analysis.Pass.target}
+    from a memoized workload run: allocated CFG, packed program, every
+    built encoding scheme and the tailored spec. *)
+
+module Diag = Cccs_analysis.Diag
+module Pass = Cccs_analysis.Pass
+module Dataflow_check = Cccs_analysis.Dataflow_check
+module Schedule_check = Cccs_analysis.Schedule_check
+module Encoding_check = Cccs_analysis.Encoding_check
+module Decoder_check = Cccs_analysis.Decoder_check
+
+val passes : (module Pass.S) list
+
+(** [(name, doc)] of every registered pass. *)
+val pass_names : (string * string) list
+
+val run_all : Pass.target -> Diag.t list
+val run_pass : string -> Pass.target -> Diag.t list option
+
+(** [target_of_run r] — a full target for one loaded workload: CFG,
+    program, all encoding schemes (memoized via {!Experiments.schemes_of})
+    and the tailored spec. *)
+val target_of_run : Workload_run.run -> Pass.target
+
+(** [lint_run r] — every pass over one loaded workload. *)
+val lint_run : Workload_run.run -> Diag.t list

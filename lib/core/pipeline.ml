@@ -52,3 +52,12 @@ let compile ?(speculate = true) ?(profile_guided = false)
 
 let compile_profile ?speculate p =
   compile ?speculate (Workloads.Gen.generate p)
+
+let lint (c : compiled) =
+  let target =
+    Cccs_analysis.Pass.target ~cfg:c.alloc_cfg ~program:c.program
+      c.program.Tepic.Program.name
+  in
+  List.concat_map
+    (fun (module P : Cccs_analysis.Pass.S) -> P.run target)
+    [ Cccs_analysis.Dataflow_check.pass; Cccs_analysis.Schedule_check.pass ]

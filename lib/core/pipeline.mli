@@ -25,3 +25,9 @@ val compile :
 
 (** [compile_profile ?speculate p] — generate then compile. *)
 val compile_profile : ?speculate:bool -> Workloads.Profile.t -> compiled
+
+(** [lint c] — the compiler-side passes of the static verifier
+    ({!Cccs_analysis}): IR/CFG dataflow lint on the allocated CFG and
+    schedule checks on the packed program.  Encoding-side passes need the
+    built schemes; see {!Analysis.lint_run}. *)
+val lint : compiled -> Cccs_analysis.Diag.t list

@@ -48,5 +48,6 @@ let build program =
         entry_bits = stats.Huffman.Codebook.max_symbol_bits;
         transistors = Huffman.Codebook.decoder_transistors book;
       };
+    books = [ ("byte", book) ];
     decode_block;
   }

@@ -133,5 +133,6 @@ let build program =
         (* An indexed ROM, not a Huffman mux tree: no tree cost. *)
         transistors = 0;
       };
+    books = [];
     decode_block;
   }

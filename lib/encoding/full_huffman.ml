@@ -42,5 +42,6 @@ let build program =
         entry_bits = stats.Huffman.Codebook.max_symbol_bits;
         transistors = Huffman.Codebook.decoder_transistors book;
       };
+    books = [ ("full", book) ];
     decode_block;
   }

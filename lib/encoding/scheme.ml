@@ -13,6 +13,7 @@ type t = {
   block_offset_bits : int array;
   block_bits : int array;
   decoder : decoder_info;
+  books : (string * Huffman.Codebook.t) list;
   decode_block : int -> Tepic.Op.t list;
 }
 

@@ -23,6 +23,10 @@ type t = {
   block_offset_bits : int array;  (** bit offset of each block (mult. of 8) *)
   block_bits : int array;  (** compressed size of each block *)
   decoder : decoder_info;
+  books : (string * Huffman.Codebook.t) list;
+      (** the Huffman codebooks behind the image, if any (one per stream
+          for the stream schemes); exposed so static analysis can audit
+          prefix-freeness, Kraft completeness and canonical ordering *)
   decode_block : int -> Tepic.Op.t list;
       (** decompress block [i] back to its exact original ops *)
 }

@@ -159,5 +159,15 @@ let build ?(config = classic) program =
             (fun a b -> a + Huffman.Codebook.decoder_transistors b)
             0 live_books;
       };
+    books =
+      (let named = ref [] in
+       Array.iteri
+         (fun s b ->
+           match b with
+           | Some book ->
+               named := (Printf.sprintf "stream%d" s, book) :: !named
+           | None -> ())
+         books;
+       List.rev !named);
     decode_block;
   }

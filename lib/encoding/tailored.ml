@@ -325,6 +325,7 @@ let build_with_spec program =
       block_bits = sizes;
       decoder =
         { dict_entries = 0; max_code_bits = 0; entry_bits = 0; transistors = 0 };
+      books = [];
       decode_block;
     },
     spec )

@@ -96,6 +96,77 @@ let prop_roundtrip =
       let r = Bits.Reader.of_string (Bits.Writer.contents w) in
       List.for_all (fun (width, v) -> Bits.Reader.read_bits r ~width = v) fields)
 
+(* Random field lists over the full legal width range 0-62.  Width-0
+   fields are legal no-ops (value must be 0) and must read back as 0. *)
+let gen_fields =
+  QCheck.Gen.(
+    list_size (int_range 1 100)
+      (int_range 0 62 >>= fun w ->
+       (if w = 0 then return 0
+        else if w >= 62 then int_range 0 max_int
+        else int_bound ((1 lsl w) - 1))
+       >>= fun v -> return (w, v)))
+
+let prop_roundtrip_full_range =
+  QCheck.Test.make ~name:"roundtrip over widths 0-62" ~count:200
+    (QCheck.make gen_fields) (fun fields ->
+      let w = Bits.Writer.create () in
+      List.iter (fun (width, v) -> Bits.Writer.add_bits w ~width v) fields;
+      let total = List.fold_left (fun a (width, _) -> a + width) 0 fields in
+      let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+      Bits.Writer.length w = total
+      && List.for_all
+           (fun (width, v) -> Bits.Reader.read_bits r ~width = v)
+           fields
+      && Bits.Reader.pos r = total)
+
+(* align_byte pads to the next byte boundary with zero bits, returns the
+   pad count, and is idempotent. *)
+let prop_align_byte =
+  QCheck.Test.make ~name:"align_byte padding invariants" ~count:200
+    (QCheck.make gen_fields) (fun fields ->
+      let w = Bits.Writer.create () in
+      List.iter (fun (width, v) -> Bits.Writer.add_bits w ~width v) fields;
+      let len = Bits.Writer.length w in
+      let pad = Bits.Writer.align_byte w in
+      let expected = (8 - (len mod 8)) mod 8 in
+      let aligned = Bits.Writer.length w in
+      let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+      Bits.Reader.seek r len;
+      let pad_bits = Bits.Reader.read_bits r ~width:pad in
+      pad = expected
+      && aligned = len + pad
+      && aligned mod 8 = 0
+      && Bits.Writer.align_byte w = 0
+      && pad_bits = 0)
+
+(* Seeking back to any field start re-reads the same value, and
+   [remaining] always complements [pos]. *)
+let prop_seek_remaining =
+  QCheck.Test.make ~name:"seek/remaining invariants" ~count:200
+    (QCheck.make gen_fields) (fun fields ->
+      let w = Bits.Writer.create () in
+      List.iter (fun (width, v) -> Bits.Writer.add_bits w ~width v) fields;
+      let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+      let total_len = Bits.Reader.length r in
+      let offset = ref 0 in
+      let starts =
+        List.map
+          (fun (width, v) ->
+            let s = !offset in
+            offset := s + width;
+            (s, width, v))
+          fields
+      in
+      (* Walk the fields in reverse via seek. *)
+      List.for_all
+        (fun (s, width, v) ->
+          Bits.Reader.seek r s;
+          Bits.Reader.remaining r = total_len - s
+          && Bits.Reader.read_bits r ~width = v
+          && Bits.Reader.pos r = s + width)
+        (List.rev starts))
+
 let prop_bits_needed_sufficient =
   QCheck.Test.make ~name:"bits_needed covers the range" ~count:500
     QCheck.(int_range 1 1_000_000)
@@ -115,5 +186,8 @@ let suite =
     Alcotest.test_case "bits_needed" `Quick test_bits_needed;
     Alcotest.test_case "flips_between" `Quick test_flips;
     QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip_full_range;
+    QCheck_alcotest.to_alcotest prop_align_byte;
+    QCheck_alcotest.to_alcotest prop_seek_remaining;
     QCheck_alcotest.to_alcotest prop_bits_needed_sufficient;
   ]

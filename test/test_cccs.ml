@@ -13,4 +13,5 @@ let () =
       ("integration", Test_integration.suite);
       ("extensions", Test_extensions.suite);
       ("robustness", Test_robustness.suite);
+      ("analysis", Test_analysis.suite);
     ]
