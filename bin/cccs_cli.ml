@@ -262,6 +262,70 @@ let lint_cmd =
           encoding and decoder checks) on one workload or the whole suite")
     Term.(const run $ bench_opt_arg $ all_arg $ pass_arg $ passes_arg)
 
+let faults_cmd =
+  let flips_arg =
+    let doc = "Single-bit-flip trials per surface per scheme." in
+    Arg.(value & opt int 64 & info [ "flips" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Campaign seed (deterministic xorshift stream)." in
+    Arg.(value & opt int 1999 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let retries_arg =
+    let doc = "Recovery refetch attempts before a machine check." in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"K" ~doc)
+  in
+  let protect_arg =
+    let doc =
+      "Protection mode: $(b,none), $(b,crc8), $(b,crc16), or $(b,both) \
+       (unprotected and crc8 side by side)."
+    in
+    Arg.(value & opt string "both" & info [ "protect" ] ~docv:"MODE" ~doc)
+  in
+  let run bench flips seed retries protect =
+    ignore (find_workload bench);
+    let protections =
+      match protect with
+      | "both" -> [ Encoding.Scheme.Unprotected; Encoding.Scheme.Crc8 ]
+      | p -> (
+          match Encoding.Scheme.protection_of_name p with
+          | Some x -> [ x ]
+          | None ->
+              Printf.eprintf
+                "faults: unknown protection %S (none|crc8|crc16|both)\n" p;
+              exit 2)
+    in
+    let protected_silent = ref 0 in
+    List.iter
+      (fun protection ->
+        let t =
+          Cccs.Faults.run
+            { Cccs.Faults.bench; seed; flips; retries; protection }
+        in
+        Cccs.Report.faults Format.std_formatter t;
+        if protection <> Encoding.Scheme.Unprotected then
+          List.iter
+            (fun row ->
+              protected_silent :=
+                !protected_silent + Cccs.Faults.silent_total row)
+            t.Cccs.Faults.rows)
+      protections;
+    if !protected_silent > 0 then begin
+      Printf.eprintf
+        "faults: %d silent corruption(s) leaked through CRC protection\n"
+        !protected_silent;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a seeded soft-error fault-injection campaign (ROM, cache and \
+          decode-table surfaces) over every scheme; nonzero exit if a \
+          protected scheme delivers a silent corruption")
+    Term.(const run $ bench_arg $ flips_arg $ seed_arg $ retries_arg
+          $ protect_arg)
+
 let disasm_cmd =
   let run bench =
     let r = Cccs.Workload_run.load (find_workload bench) in
@@ -323,6 +387,7 @@ let () =
       trace_cmd;
       verify_cmd;
       lint_cmd;
+      faults_cmd;
       disasm_cmd;
       export_cmd;
       fig_cmd "fig5" "Reproduce Figure 5 (compression ratios)" (fun ppf ->

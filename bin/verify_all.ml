@@ -16,6 +16,8 @@ type row = {
   schemes_ok : bool;
   lint_ok : bool;
   lint_warnings : int;
+  faults_ok : bool;
+  faults_detected : int;
 }
 
 let check_workload (e : Workloads.Suite.entry) =
@@ -50,6 +52,35 @@ let check_workload (e : Workloads.Suite.entry) =
       true
     with Failure _ -> false
   in
+  (* Fixed-seed protected fault campaign: CRC framing must detect every
+     exposed flip (zero silent corruptions) and must actually be exercised
+     (nonzero detections). *)
+  let faults_ok, faults_detected =
+    let t =
+      Cccs.Faults.run
+        {
+          Cccs.Faults.bench = r.Cccs.Workload_run.name;
+          seed = 7;
+          flips = 16;
+          retries = 2;
+          protection = Encoding.Scheme.Crc8;
+        }
+    in
+    let detected =
+      List.fold_left
+        (fun a (x : Cccs.Faults.scheme_report) ->
+          a + x.Cccs.Faults.rom.Cccs.Faults.detected
+          + x.Cccs.Faults.table.Cccs.Faults.detected
+          + x.Cccs.Faults.cache.Cccs.Faults.detected)
+        0 t.Cccs.Faults.rows
+    in
+    let no_sdc =
+      List.for_all
+        (fun x -> Cccs.Faults.silent_total x = 0)
+        t.Cccs.Faults.rows
+    in
+    (no_sdc && detected > 0, detected)
+  in
   let diags = Cccs.Analysis.lint_run r in
   let lint_errors = List.filter Cccs.Analysis.Diag.is_error diags in
   let lint_ok = lint_errors = [] in
@@ -58,7 +89,7 @@ let check_workload (e : Workloads.Suite.entry) =
     lint_errors;
   Printf.printf
     "%-12s blocks=%5d ops=%6d ilp=%4.2f hoist=%4d | dyn_ops=%8d visits=%7d \
-     %s | mem %s trace %s schemes %s lint %s | %.2fs\n%!"
+     %s | mem %s trace %s schemes %s lint %s faults %s(%d det) | %.2fs\n%!"
     r.Cccs.Workload_run.name
     (Tepic.Program.num_blocks prog)
     (Tepic.Program.num_ops prog)
@@ -73,6 +104,8 @@ let check_workload (e : Workloads.Suite.entry) =
     (if trace_ok then "OK" else "MISMATCH")
     (if schemes_ok then "OK" else "MISMATCH")
     (if lint_ok then "OK" else "FAIL")
+    (if faults_ok then "OK" else "FAIL")
+    faults_detected
     (Unix.gettimeofday () -. t0);
   {
     name = r.Cccs.Workload_run.name;
@@ -81,6 +114,8 @@ let check_workload (e : Workloads.Suite.entry) =
     schemes_ok;
     lint_ok;
     lint_warnings = List.length diags - List.length lint_errors;
+    faults_ok;
+    faults_detected;
   }
 
 let () =
@@ -100,11 +135,13 @@ let () =
   summary "differential-trace" (fun r -> r.trace_ok);
   summary "scheme-decode-back" (fun r -> r.schemes_ok);
   summary "static-lint" (fun r -> r.lint_ok);
+  summary "fault-protection" (fun r -> r.faults_ok);
   let warn = List.fold_left (fun acc r -> acc + r.lint_warnings) 0 rows in
   if warn > 0 then Printf.printf "static-lint warnings: %d (non-fatal)\n" warn;
   let ok =
     List.for_all
-      (fun r -> r.mem_ok && r.trace_ok && r.schemes_ok && r.lint_ok)
+      (fun r ->
+        r.mem_ok && r.trace_ok && r.schemes_ok && r.lint_ok && r.faults_ok)
       rows
   in
   if ok then print_endline "verify_all: all workloads verified"

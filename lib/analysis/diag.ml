@@ -78,6 +78,18 @@ let registry =
     ( "CCCS-E051",
       Error,
       "decoder OPT dispatch lacks a case arm for a live operation type" );
+    (* Protected block framing (Encoding_check) *)
+    ( "CCCS-E500",
+      Error,
+      "protected frame guard word is missing, mis-sized or disagrees with \
+       the payload CRC" );
+    ( "CCCS-E501",
+      Error,
+      "protection framing bits are unaccounted in the frame metadata" );
+    ( "CCCS-E502",
+      Error,
+      "protected frame length field is too narrow or disagrees with the \
+       payload extent" );
   ]
 
 let severity_of_code code =

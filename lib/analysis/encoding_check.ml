@@ -211,8 +211,105 @@ let check_decoder_info ~workload (s : Encoding.Scheme.t) =
              d.Encoding.Scheme.max_code_bits max_code)
       else []
 
+(* {1 Protected block framing} (CCCS-E500..E502)
+
+   For a protected scheme the frame metadata must account for exactly the
+   bits the framing occupies, and every block in the image must carry a
+   length field matching its payload extent plus a guard word equal to the
+   payload CRC. *)
+let check_frame ~workload (s : Encoding.Scheme.t) =
+  let f = s.Encoding.Scheme.frame in
+  let diags = ref [] in
+  let emit ?block ?bit code msg =
+    diags :=
+      Diag.make ~code ~loc:(Diag.loc ?block ?bit workload)
+        (s.Encoding.Scheme.name ^ ": " ^ msg)
+      :: !diags
+  in
+  (match f.Encoding.Scheme.protection with
+  | Encoding.Scheme.Unprotected ->
+      if
+        f.Encoding.Scheme.len_bits <> 0
+        || f.Encoding.Scheme.guard_bits <> 0
+        || f.Encoding.Scheme.protection_bits <> 0
+      then
+        emit "CCCS-E501"
+          (Printf.sprintf
+             "unprotected scheme declares framing bits (len=%d guard=%d \
+              total=%d)"
+             f.Encoding.Scheme.len_bits f.Encoding.Scheme.guard_bits
+             f.Encoding.Scheme.protection_bits)
+  | p ->
+      let expect_guard = Encoding.Scheme.guard_bits_of p in
+      if f.Encoding.Scheme.guard_bits <> expect_guard then
+        emit "CCCS-E500"
+          (Printf.sprintf "declares a %d-bit guard word, %s needs %d"
+             f.Encoding.Scheme.guard_bits
+             (Encoding.Scheme.protection_name p)
+             expect_guard);
+      let n = Array.length s.Encoding.Scheme.block_bits in
+      let expect_total =
+        n * (f.Encoding.Scheme.len_bits + f.Encoding.Scheme.guard_bits)
+      in
+      if f.Encoding.Scheme.protection_bits <> expect_total then
+        emit "CCCS-E501"
+          (Printf.sprintf
+             "declares %d protection bits, %d blocks of framing hold %d"
+             f.Encoding.Scheme.protection_bits n expect_total);
+      let max_payload = ref 0 in
+      for i = 0 to n - 1 do
+        max_payload := max !max_payload (Encoding.Scheme.payload_bits s i)
+      done;
+      if f.Encoding.Scheme.len_bits < Bits.bits_needed (!max_payload + 1) then
+        emit "CCCS-E502"
+          (Printf.sprintf
+             "%d-bit length field cannot hold the largest payload (%d bits)"
+             f.Encoding.Scheme.len_bits !max_payload);
+      if f.Encoding.Scheme.guard_bits = expect_guard then begin
+        let r = Bits.Reader.of_string s.Encoding.Scheme.image in
+        for i = 0 to n - 1 do
+          let off = s.Encoding.Scheme.block_offset_bits.(i) in
+          let expect_payload = Encoding.Scheme.payload_bits s i in
+          if expect_payload < 0 then
+            emit ~block:i ~bit:off "CCCS-E502"
+              (Printf.sprintf "block is smaller than its framing (%d bits)"
+                 s.Encoding.Scheme.block_bits.(i))
+          else if off + s.Encoding.Scheme.block_bits.(i) <= Bits.Reader.length r
+          then begin
+            Bits.Reader.seek r off;
+            match
+              Bits.Reader.read_bits_opt r ~width:f.Encoding.Scheme.len_bits
+            with
+            | None ->
+                emit ~block:i ~bit:off "CCCS-E502" "length field truncated"
+            | Some plen when plen <> expect_payload ->
+                emit ~block:i ~bit:off "CCCS-E502"
+                  (Printf.sprintf
+                     "length field reads %d, frame geometry implies %d" plen
+                     expect_payload)
+            | Some plen -> (
+                let crc =
+                  Bits.Crc.of_reader ~width:expect_guard
+                    ~poly:(Encoding.Scheme.poly_of p) r ~nbits:plen
+                in
+                match
+                  Bits.Reader.read_bits_opt r ~width:expect_guard
+                with
+                | None ->
+                    emit ~block:i ~bit:off "CCCS-E500" "guard word truncated"
+                | Some g when g <> crc ->
+                    emit ~block:i ~bit:(Bits.Reader.pos r) "CCCS-E500"
+                      (Printf.sprintf
+                         "guard word %#x disagrees with payload CRC %#x" g crc)
+                | Some _ -> ())
+          end
+        done
+      end);
+  List.rev !diags
+
 let check_scheme ~workload (s : Encoding.Scheme.t) =
   check_geometry ~workload s
+  @ check_frame ~workload s
   @ List.concat_map
       (check_book ~workload ~scheme:s.Encoding.Scheme.name)
       s.Encoding.Scheme.books

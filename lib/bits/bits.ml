@@ -63,24 +63,83 @@ module Reader = struct
   let remaining r = r.nbits - r.cursor
 
   let seek r bit =
-    if bit < 0 || bit > r.nbits then invalid_arg "Bits.Reader.seek";
+    if bit < 0 || bit > r.nbits then
+      invalid_arg
+        (Printf.sprintf "Bits.Reader.seek: bit %d outside stream of %d bits"
+           bit r.nbits);
     r.cursor <- bit
 
   let read_bit r =
-    if r.cursor >= r.nbits then invalid_arg "Bits.Reader.read_bit: exhausted";
+    if r.cursor >= r.nbits then
+      invalid_arg
+        (Printf.sprintf "Bits.Reader.read_bit: exhausted at bit %d/%d"
+           r.cursor r.nbits);
     let byte = r.cursor lsr 3 and off = r.cursor land 7 in
     r.cursor <- r.cursor + 1;
     Char.code r.data.[byte] land (0x80 lsr off) <> 0
 
   let read_bits r ~width =
     if width < 0 || width > 62 then
-      invalid_arg "Bits.Reader.read_bits: width out of range";
+      invalid_arg
+        (Printf.sprintf
+           "Bits.Reader.read_bits: width %d out of range at bit %d/%d" width
+           r.cursor r.nbits);
     let v = ref 0 in
     for _ = 1 to width do
       v := (!v lsl 1) lor (if read_bit r then 1 else 0)
     done;
     !v
+
+  let read_bit_opt r = if r.cursor >= r.nbits then None else Some (read_bit r)
+
+  let read_bits_opt r ~width =
+    if width < 0 || width > 62 then None
+    else if r.nbits - r.cursor < width then None
+    else Some (read_bits r ~width)
 end
+
+(* Bitwise CRCs, MSB-first, zero initial value and no final xor — the guard
+   words of the protected block framing (Scheme.protect) and of protected
+   decode tables.  Any CRC with these generator polynomials detects every
+   single-bit error and every burst shorter than the register. *)
+module Crc = struct
+  let crc8_poly = 0x07 (* x^8 + x^2 + x + 1 *)
+  let crc16_poly = 0x1021 (* CCITT: x^16 + x^12 + x^5 + 1 *)
+
+  let update ~width ~poly crc bit =
+    let top = 1 lsl (width - 1) in
+    let mask = (1 lsl width) - 1 in
+    let crc = if bit then crc lxor top else crc in
+    let crc = crc lsl 1 in
+    let crc = if crc land (1 lsl width) <> 0 then crc lxor poly else crc in
+    crc land mask
+
+  let of_reader ~width ~poly r ~nbits =
+    let crc = ref 0 in
+    for _ = 1 to nbits do
+      crc := update ~width ~poly !crc (Reader.read_bit r)
+    done;
+    !crc
+
+  let of_string ~width ~poly s =
+    let r = Reader.of_string s in
+    of_reader ~width ~poly r ~nbits:(8 * String.length s)
+end
+
+let flip_bits s bits =
+  let b = Bytes.of_string s in
+  let nbits = 8 * Bytes.length b in
+  List.iter
+    (fun k ->
+      if k < 0 || k >= nbits then
+        invalid_arg
+          (Printf.sprintf "Bits.flip_bits: bit %d outside image of %d bits" k
+             nbits);
+      let byte = k lsr 3 and off = k land 7 in
+      Bytes.set b byte
+        (Char.chr (Char.code (Bytes.get b byte) lxor (0x80 lsr off))))
+    bits;
+  Bytes.unsafe_to_string b
 
 let popcount v =
   if v < 0 then invalid_arg "Bits.popcount: negative";

@@ -49,16 +49,52 @@ module Reader : sig
   val remaining : t -> int
 
   (** [seek r bit] repositions the cursor.  Raises [Invalid_argument] when
-      out of range. *)
+      out of range; the message carries the target bit and stream length. *)
   val seek : t -> int -> unit
 
   (** [read_bit r] consumes one bit.  Raises [Invalid_argument] at end of
-      stream. *)
+      stream; the message carries the cursor position and stream length
+      (e.g. ["Bits.Reader.read_bit: exhausted at bit 412/408"]). *)
   val read_bit : t -> bool
 
   (** [read_bits r ~width] consumes [width] bits, MSB first. *)
   val read_bits : t -> width:int -> int
+
+  (** [read_bit_opt r] — total variant of {!read_bit}: [None] instead of
+      raising at end of stream, with the cursor left in place. *)
+  val read_bit_opt : t -> bool option
+
+  (** [read_bits_opt r ~width] — total variant of {!read_bits}: [None] on a
+      bad width or fewer than [width] bits remaining (cursor unchanged in
+      the too-short case). *)
+  val read_bits_opt : t -> width:int -> int option
 end
+
+(** Bitwise CRCs, MSB first, zero initial value, no final xor — the guard
+    words of the protected block framing and protected decode tables.  These
+    generator polynomials detect every single-bit error and every error
+    burst shorter than the CRC register. *)
+module Crc : sig
+  val crc8_poly : int  (** 0x07 — x^8 + x^2 + x + 1 *)
+
+  val crc16_poly : int  (** 0x1021 — CCITT, x^16 + x^12 + x^5 + 1 *)
+
+  (** [update ~width ~poly crc bit] — shift one bit into the register. *)
+  val update : width:int -> poly:int -> int -> bool -> int
+
+  (** [of_reader ~width ~poly r ~nbits] — CRC of the next [nbits] bits,
+      consuming them.  Raises like {!Reader.read_bit} on a short stream. *)
+  val of_reader : width:int -> poly:int -> Reader.t -> nbits:int -> int
+
+  (** [of_string ~width ~poly s] — CRC over a whole byte string. *)
+  val of_string : width:int -> poly:int -> string -> int
+end
+
+(** [flip_bits s bits] — copy of the byte string [s] with each listed bit
+    position (MSB-first, matching {!Reader}) inverted.  The fault-injection
+    surfaces are built with this.  Raises [Invalid_argument] if a position
+    lies outside the string. *)
+val flip_bits : string -> int list -> string
 
 (** [popcount v] is the number of set bits in [v] (which must be
     non-negative). *)

@@ -223,6 +223,42 @@ let superblocks ppf (rows : Experiments.superblock_row list) =
      runs, against whole-unit miss repair — the trade the paper sketches@.\
      in section 3.1.@.@."
 
+let faults ppf (t : Faults.t) =
+  Format.fprintf ppf
+    "Fault campaign — bench=%s seed=%d flips=%d per surface retries=%d \
+     protection=%s@."
+    t.Faults.spec.Faults.bench t.Faults.spec.Faults.seed
+    t.Faults.spec.Faults.flips t.Faults.spec.Faults.retries
+    (Encoding.Scheme.protection_name t.Faults.spec.Faults.protection);
+  hr ppf;
+  Format.fprintf ppf "%-10s %7s %7s %8s %8s %8s %5s %4s %8s %8s@." "scheme"
+    "ratio" "ovh%" "rom-cov" "tbl-cov" "cch-cov" "sdc" "mc" "rec-cyc" "cyc-ovh%";
+  List.iter
+    (fun (r : Faults.scheme_report) ->
+      let cyc_ovh =
+        if r.Faults.clean_cycles = 0 then 0.
+        else
+          100.
+          *. float_of_int (r.Faults.faulty_cycles - r.Faults.clean_cycles)
+          /. float_of_int r.Faults.clean_cycles
+      in
+      Format.fprintf ppf "%-10s %7.3f %7.2f %8.3f %8.3f %8.3f %5d %4d %8d %8.2f@."
+        r.Faults.scheme r.Faults.ratio
+        (100. *. r.Faults.protection_overhead)
+        (Faults.coverage r.Faults.rom)
+        (Faults.coverage r.Faults.table)
+        (Faults.coverage r.Faults.cache)
+        (Faults.silent_total r)
+        r.Faults.cache.Faults.machine_checks
+        r.Faults.cache.Faults.recovery_cycles cyc_ovh)
+    t.Faults.rows;
+  hr ppf;
+  Format.fprintf ppf
+    "cov = detected/(detected+silent) per surface; sdc = silent corruptions@.\
+     summed over surfaces; rec-cyc = cycles spent refetching after detection.@.\
+     CRC framing must drive sdc to 0 — single-bit errors are in every CRC\'s@.\
+     detected class — at the ovh%% cost in compression ratio.@.@."
+
 let all ppf () =
   fig5 ppf (Experiments.fig5 ());
   fig7 ppf (Experiments.fig7 ());

@@ -8,6 +8,11 @@ val fig10 : Format.formatter -> Experiments.fig10_row list -> unit
 val fig13 : Format.formatter -> Experiments.fig13_row list -> unit
 val fig14 : Format.formatter -> Experiments.fig14_row list -> unit
 
+(** [faults ppf t] — per-scheme detection coverage, silent-corruption and
+    recovery statistics of one fault campaign, plus the protection
+    overhead on the compression ratio. *)
+val faults : Format.formatter -> Faults.t -> unit
+
 val ablation : Format.formatter -> Experiments.ablation_row list -> unit
 val predictors : Format.formatter -> Experiments.predictor_row list -> unit
 val superblocks : Format.formatter -> Experiments.superblock_row list -> unit

@@ -8,9 +8,7 @@ let build program =
       (fun b -> Tepic.Program.block_num_ops b)
       program.Tepic.Program.blocks
   in
-  let decode_block i =
-    let r = Bits.Reader.of_string image in
-    Bits.Reader.seek r offsets.(i);
+  let decode_payload r i =
     List.init counts.(i) (fun _ -> Tepic.Encode.decode r)
   in
   {
@@ -20,8 +18,10 @@ let build program =
     table_bits = 0;
     block_offset_bits = offsets;
     block_bits = sizes;
+    frame = Scheme.no_frame;
     decoder =
       { dict_entries = 0; max_code_bits = 0; entry_bits = 0; transistors = 0 };
     books = [];
-    decode_block;
+    decode_payload;
+    decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
   }

@@ -24,9 +24,7 @@ let build program =
       (fun b -> Tepic.Program.block_num_ops b)
       program.Tepic.Program.blocks
   in
-  let decode_block i =
-    let r = Bits.Reader.of_string image in
-    Bits.Reader.seek r offsets.(i);
+  let decode_payload r i =
     let bytes = Bytes.create (Tepic.Format_spec.op_bytes * counts.(i)) in
     for j = 0 to Bytes.length bytes - 1 do
       Bytes.set bytes j (Char.chr (Huffman.Codebook.read book r))
@@ -41,6 +39,7 @@ let build program =
     table_bits = stats.Huffman.Codebook.table_bits;
     block_offset_bits = offsets;
     block_bits = sizes;
+    frame = Scheme.no_frame;
     decoder =
       {
         dict_entries = stats.Huffman.Codebook.entries;
@@ -49,5 +48,6 @@ let build program =
         transistors = Huffman.Codebook.decoder_transistors book;
       };
     books = [ ("byte", book) ];
-    decode_block;
+    decode_payload;
+    decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
   }

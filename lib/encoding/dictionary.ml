@@ -89,9 +89,7 @@ let build program =
       (fun b -> Tepic.Program.block_num_ops b)
       program.Tepic.Program.blocks
   in
-  let decode_block i =
-    let r = Bits.Reader.of_string image in
-    Bits.Reader.seek r offsets.(i);
+  let decode_payload r i =
     let out = ref [] in
     let remaining = ref op_counts.(i) in
     while !remaining > 0 do
@@ -125,6 +123,7 @@ let build program =
     table_bits;
     block_offset_bits = offsets;
     block_bits = sizes;
+    frame = Scheme.no_frame;
     decoder =
       {
         dict_entries = nentries;
@@ -134,5 +133,6 @@ let build program =
         transistors = 0;
       };
     books = [];
-    decode_block;
+    decode_payload;
+    decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
   }

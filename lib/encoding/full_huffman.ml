@@ -21,9 +21,7 @@ let build program =
       (fun b -> Tepic.Program.block_num_ops b)
       program.Tepic.Program.blocks
   in
-  let decode_block i =
-    let r = Bits.Reader.of_string image in
-    Bits.Reader.seek r offsets.(i);
+  let decode_payload r i =
     List.init counts.(i) (fun _ ->
         Tepic.Encode.of_int (Huffman.Codebook.read book r))
   in
@@ -35,6 +33,7 @@ let build program =
     table_bits = stats.Huffman.Codebook.table_bits;
     block_offset_bits = offsets;
     block_bits = sizes;
+    frame = Scheme.no_frame;
     decoder =
       {
         dict_entries = stats.Huffman.Codebook.entries;
@@ -43,5 +42,6 @@ let build program =
         transistors = Huffman.Codebook.decoder_transistors book;
       };
     books = [ ("full", book) ];
-    decode_block;
+    decode_payload;
+    decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
   }

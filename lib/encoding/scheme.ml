@@ -5,6 +5,36 @@ type decoder_info = {
   transistors : int;
 }
 
+type protection = Unprotected | Crc8 | Crc16
+
+let guard_bits_of = function Unprotected -> 0 | Crc8 -> 8 | Crc16 -> 16
+
+let poly_of = function
+  | Unprotected -> 0
+  | Crc8 -> Bits.Crc.crc8_poly
+  | Crc16 -> Bits.Crc.crc16_poly
+
+let protection_name = function
+  | Unprotected -> "none"
+  | Crc8 -> "crc8"
+  | Crc16 -> "crc16"
+
+let protection_of_name = function
+  | "none" -> Some Unprotected
+  | "crc8" -> Some Crc8
+  | "crc16" -> Some Crc16
+  | _ -> None
+
+type frame = {
+  protection : protection;
+  len_bits : int;
+  guard_bits : int;
+  protection_bits : int;
+}
+
+let no_frame =
+  { protection = Unprotected; len_bits = 0; guard_bits = 0; protection_bits = 0 }
+
 type t = {
   name : string;
   image : string;
@@ -12,14 +42,94 @@ type t = {
   table_bits : int;
   block_offset_bits : int array;
   block_bits : int array;
+  frame : frame;
   decoder : decoder_info;
   books : (string * Huffman.Codebook.t) list;
+  decode_payload : Bits.Reader.t -> int -> Tepic.Op.t list;
   decode_block : int -> Tepic.Op.t list;
 }
 
 let ratio t ~baseline_bits =
   if baseline_bits <= 0 then invalid_arg "Scheme.ratio";
   float_of_int t.code_bits /. float_of_int baseline_bits
+
+type decode_error = {
+  scheme : string;
+  block : int;
+  bit : int;
+  reason : string;
+}
+
+let pp_decode_error ppf e =
+  Format.fprintf ppf "%s: block %d: bit %d: %s" e.scheme e.block e.bit e.reason
+
+let decode_error_to_string e = Format.asprintf "%a" pp_decode_error e
+
+(* The framed payload excludes the length field and the guard word; for an
+   unprotected scheme it is the whole block. *)
+let payload_bits t i =
+  t.block_bits.(i) - t.frame.len_bits - t.frame.guard_bits
+
+let exn_message = function
+  | Invalid_argument m | Failure m -> m
+  | Not_found -> "lookup failed (Not_found)"
+  | exn -> Printexc.to_string exn
+
+let decode_block_checked ?image t i =
+  let image = match image with Some s -> s | None -> t.image in
+  if i < 0 || i >= Array.length t.block_offset_bits then
+    invalid_arg (Printf.sprintf "Scheme.decode_block_checked: block %d" i)
+  else begin
+    let offset = t.block_offset_bits.(i) in
+    let r = Bits.Reader.of_string image in
+    let fail reason = Error { scheme = t.name; block = i; bit = Bits.Reader.pos r; reason } in
+    let decode_and_check ~expect_consumed =
+      let start = Bits.Reader.pos r in
+      match t.decode_payload r i with
+      | exception exn -> fail (exn_message exn)
+      | ops ->
+          let consumed = Bits.Reader.pos r - start in
+          if consumed <> expect_consumed then
+            fail
+              (Printf.sprintf "consumed %d bits, block frame holds %d"
+                 consumed expect_consumed)
+          else Ok ops
+    in
+    match Bits.Reader.seek r offset with
+    | exception exn -> fail (exn_message exn)
+    | () -> (
+        match t.frame.protection with
+        | Unprotected -> decode_and_check ~expect_consumed:t.block_bits.(i)
+        | p -> (
+            let f = t.frame in
+            let expect_payload = payload_bits t i in
+            match Bits.Reader.read_bits_opt r ~width:f.len_bits with
+            | None -> fail "length field truncated"
+            | Some plen when plen <> expect_payload ->
+                fail
+                  (Printf.sprintf
+                     "length field reads %d, frame geometry implies %d" plen
+                     expect_payload)
+            | Some plen -> (
+                match
+                  Bits.Crc.of_reader ~width:f.guard_bits ~poly:(poly_of p) r
+                    ~nbits:plen
+                with
+                | exception exn -> fail (exn_message exn)
+                | crc -> (
+                    match Bits.Reader.read_bits_opt r ~width:f.guard_bits with
+                    | None -> fail "guard word truncated"
+                    | Some guard when guard <> crc ->
+                        fail
+                          (Printf.sprintf
+                             "guard word %#x disagrees with payload %s %#x"
+                             guard (protection_name p) crc)
+                    | Some _ ->
+                        Bits.Reader.seek r offset;
+                        (* decode_payload re-reads the length field. *)
+                        decode_and_check
+                          ~expect_consumed:(f.len_bits + plen)))))
+  end
 
 let verify t program =
   let n = Tepic.Program.num_blocks program in
@@ -36,7 +146,20 @@ let verify t program =
           failwith
             (Printf.sprintf "%s: block %d op %d mismatch: %s vs %s" t.name i j
                (Tepic.Op.to_string a) (Tepic.Op.to_string b)))
-      (List.combine original decoded)
+      (List.combine original decoded);
+    (* Bit accounting: a decoder that consumes more or fewer bits than the
+       block holds can still return the right ops (over-reading into the
+       next block, or resynchronizing by luck); catch it here. *)
+    let r = Bits.Reader.of_string t.image in
+    Bits.Reader.seek r t.block_offset_bits.(i);
+    ignore (t.decode_payload r i);
+    let consumed = Bits.Reader.pos r - t.block_offset_bits.(i) in
+    let expect = t.block_bits.(i) - t.frame.guard_bits in
+    if consumed <> expect then
+      failwith
+        (Printf.sprintf
+           "%s: block %d decode consumed %d bits, frame holds %d" t.name i
+           consumed expect)
   done
 
 let build_blocks program encode_block =
@@ -52,3 +175,65 @@ let build_blocks program encode_block =
     ignore (Bits.Writer.align_byte w)
   done;
   (Bits.Writer.contents w, offsets, sizes)
+
+(* [with_image image offsets sizes decode_payload] — the standard decode
+   entry point every builder derives: position a fresh reader on block [i]
+   and run the scheme's payload decoder. *)
+let block_decoder ~image ~offsets decode_payload i =
+  let r = Bits.Reader.of_string image in
+  Bits.Reader.seek r offsets.(i);
+  decode_payload r i
+
+let protect p t =
+  match p with
+  | Unprotected -> t
+  | _ ->
+      if t.frame.protection <> Unprotected then
+        invalid_arg "Scheme.protect: scheme is already protected";
+      let gbits = guard_bits_of p and poly = poly_of p in
+      let n = Array.length t.block_bits in
+      let max_payload = Array.fold_left max 0 t.block_bits in
+      let len_bits = max 1 (Bits.bits_needed (max_payload + 1)) in
+      let w = Bits.Writer.create ~initial_bytes:(String.length t.image * 2) () in
+      let offsets = Array.make n 0 in
+      let sizes = Array.make n 0 in
+      let src = Bits.Reader.of_string t.image in
+      for i = 0 to n - 1 do
+        offsets.(i) <- Bits.Writer.length w;
+        let plen = t.block_bits.(i) in
+        Bits.Writer.add_bits w ~width:len_bits plen;
+        Bits.Reader.seek src t.block_offset_bits.(i);
+        let crc = ref 0 in
+        for _ = 1 to plen do
+          let b = Bits.Reader.read_bit src in
+          crc := Bits.Crc.update ~width:gbits ~poly !crc b;
+          Bits.Writer.add_bit w b
+        done;
+        Bits.Writer.add_bits w ~width:gbits !crc;
+        sizes.(i) <- Bits.Writer.length w - offsets.(i);
+        ignore (Bits.Writer.align_byte w)
+      done;
+      let image = Bits.Writer.contents w in
+      let len_bits' = len_bits in
+      let decode_payload r i =
+        (* Skip the length field; the guard word after the payload is left
+           unread (decode_block_checked is the verifying path). *)
+        ignore (Bits.Reader.read_bits r ~width:len_bits');
+        t.decode_payload r i
+      in
+      {
+        t with
+        image;
+        code_bits = 8 * String.length image;
+        block_offset_bits = offsets;
+        block_bits = sizes;
+        frame =
+          {
+            protection = p;
+            len_bits;
+            guard_bits = gbits;
+            protection_bits = n * (len_bits + gbits);
+          };
+        decode_payload;
+        decode_block = block_decoder ~image ~offsets decode_payload;
+      }

@@ -4,7 +4,16 @@
     evaluation needs: per-block offsets and sizes (blocks are the atomic
     fetch unit and are byte-aligned, paper §3.3), the ROM cost of any
     decode tables, the decoder complexity parameters, and a verified
-    decoder back to the original operations. *)
+    decoder back to the original operations.
+
+    A scheme may additionally carry a {e protected} block framing
+    ({!protect}): every block is wrapped as
+    [length-field | payload | guard-word], where the guard word is a
+    CRC-8/16 over the payload bits and the length field pins the payload
+    extent.  Protection makes every single-bit fault inside a block frame
+    detectable — a flipped Huffman codeword otherwise desynchronizes every
+    symbol after it with no signal — at a measurable compression-ratio
+    cost ([code_bits] includes the framing). *)
 
 type decoder_info = {
   dict_entries : int;  (** k — dictionary entries (0: no dictionary) *)
@@ -15,28 +24,97 @@ type decoder_info = {
           schemes decoded by plain field extraction (base, tailored) *)
 }
 
+(** Soft-error guard applied to each block frame. *)
+type protection = Unprotected | Crc8 | Crc16
+
+val guard_bits_of : protection -> int
+
+(** [poly_of p] — the CRC generator polynomial of [p] (0 for
+    [Unprotected]). *)
+val poly_of : protection -> int
+
+val protection_name : protection -> string
+val protection_of_name : string -> protection option
+
+(** Block framing metadata.  [no_frame] for bare schemes; {!protect}
+    installs a real frame. *)
+type frame = {
+  protection : protection;
+  len_bits : int;  (** width of the explicit block-length field *)
+  guard_bits : int;  (** width of the per-block CRC guard word *)
+  protection_bits : int;
+      (** total framing overhead over all blocks — the ROM cost of
+          protection, reported next to the Figure 5 ratios *)
+}
+
+val no_frame : frame
+
 type t = {
   name : string;
   image : string;  (** the code segment, blocks contiguous, byte-aligned *)
   code_bits : int;  (** total code-segment size (image length in bits) *)
   table_bits : int;  (** ROM bits for decode tables / dictionaries *)
   block_offset_bits : int array;  (** bit offset of each block (mult. of 8) *)
-  block_bits : int array;  (** compressed size of each block *)
+  block_bits : int array;  (** compressed size of each block, incl. framing *)
+  frame : frame;
   decoder : decoder_info;
   books : (string * Huffman.Codebook.t) list;
       (** the Huffman codebooks behind the image, if any (one per stream
           for the stream schemes); exposed so static analysis can audit
           prefix-freeness, Kraft completeness and canonical ordering *)
+  decode_payload : Bits.Reader.t -> int -> Tepic.Op.t list;
+      (** [decode_payload r i] — decode block [i]'s ops starting at [r]'s
+          current position (which need not lie in this scheme's own image:
+          fault campaigns decode corrupted copies).  May raise on malformed
+          input; {!decode_block_checked} is the total wrapper. *)
   decode_block : int -> Tepic.Op.t list;
-      (** decompress block [i] back to its exact original ops *)
+      (** decompress block [i] of the scheme's own image back to its exact
+          original ops *)
 }
 
 (** [ratio t ~baseline_bits] — code-segment compression ratio (1.0 = no
-    gain), the quantity plotted in the paper's Figure 5. *)
+    gain), the quantity plotted in the paper's Figure 5.  For a protected
+    scheme the framing bits are part of [code_bits], so the protection
+    cost shows up here. *)
 val ratio : t -> baseline_bits:int -> float
 
+(** Where and why a checked decode rejected a block. *)
+type decode_error = {
+  scheme : string;
+  block : int;
+  bit : int;  (** absolute bit position in the image at detection *)
+  reason : string;
+}
+
+val pp_decode_error : Format.formatter -> decode_error -> unit
+val decode_error_to_string : decode_error -> string
+
+(** [payload_bits t i] — block [i]'s framed payload size: [block_bits]
+    minus the length field and guard word. *)
+val payload_bits : t -> int -> int
+
+(** [decode_block_checked ?image t i] — total decode of block [i], reading
+    from [image] (default: the scheme's own ROM).  Never raises on
+    corrupted data: all decoder exceptions, over- and under-consumption of
+    the block's bits and — for protected schemes — length-field and CRC
+    guard mismatches are returned as [Error].  An [Ok] result from a
+    protected frame means the payload passed its guard word. *)
+val decode_block_checked :
+  ?image:string -> t -> int -> (Tepic.Op.t list, decode_error) result
+
+(** [protect p t] — re-frame every block of [t] as
+    [length | payload | guard] with a CRC-[p] guard word, byte-aligned like
+    the original layout.  [code_bits], offsets and sizes describe the
+    protected image; [frame.protection_bits] isolates the overhead.
+    [protect Unprotected] is the identity.  Raises [Invalid_argument] if
+    [t] is already protected. *)
+val protect : protection -> t -> t
+
 (** [verify t program] — decode every block and compare with the original
-    ops.  Raises [Failure] with a diagnostic on the first mismatch. *)
+    ops, and check that the decoder consumed exactly the bits the block
+    frame holds (over/under-consumption can silently mis-decode even when
+    the ops happen to match).  Raises [Failure] with a diagnostic on the
+    first mismatch. *)
 val verify : t -> Tepic.Program.t -> unit
 
 (** [build_blocks program encode_block] — shared image builder: runs
@@ -47,3 +125,12 @@ val build_blocks :
   Tepic.Program.t ->
   (Bits.Writer.t -> Tepic.Op.t list -> unit) ->
   string * int array * int array
+
+(** [block_decoder ~image ~offsets decode_payload] — the standard
+    [decode_block]: seek to block [i] in [image] and run [decode_payload]. *)
+val block_decoder :
+  image:string ->
+  offsets:int array ->
+  (Bits.Reader.t -> int -> Tepic.Op.t list) ->
+  int ->
+  Tepic.Op.t list

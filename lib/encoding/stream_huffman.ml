@@ -104,9 +104,7 @@ let build ?(config = classic) program =
       (fun b -> Tepic.Program.block_num_ops b)
       program.Tepic.Program.blocks
   in
-  let decode_block i =
-    let r = Bits.Reader.of_string image in
-    Bits.Reader.seek r offsets.(i);
+  let decode_payload r i =
     List.init counts.(i) (fun _ ->
         let book0 =
           match books.(0) with Some b -> b | None -> assert false
@@ -144,6 +142,7 @@ let build ?(config = classic) program =
     table_bits;
     block_offset_bits = offsets;
     block_bits = sizes;
+    frame = Scheme.no_frame;
     decoder =
       {
         dict_entries =
@@ -169,5 +168,6 @@ let build ?(config = classic) program =
            | None -> ())
          books;
        List.rev !named);
-    decode_block;
+    decode_payload;
+    decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
   }

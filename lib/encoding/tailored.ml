@@ -301,9 +301,7 @@ let build_with_spec program =
       (fun b -> Tepic.Program.block_num_ops b)
       program.Tepic.Program.blocks
   in
-  let decode_block i =
-    let r = Bits.Reader.of_string image in
-    Bits.Reader.seek r offsets.(i);
+  let decode_payload r i =
     List.init counts.(i) (fun _ -> decode_op spec r)
   in
   (* The tailored "table" cost is the PLA's value maps: every dense map
@@ -323,10 +321,12 @@ let build_with_spec program =
       table_bits;
       block_offset_bits = offsets;
       block_bits = sizes;
+      frame = Scheme.no_frame;
       decoder =
         { dict_entries = 0; max_code_bits = 0; entry_bits = 0; transistors = 0 };
       books = [];
-      decode_block;
+      decode_payload;
+      decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
     },
     spec )
 

@@ -14,6 +14,9 @@ val create : Config.t -> t
     range a block occupies. *)
 val lines_of_block : t -> offset_bits:int -> size_bits:int -> int * int
 
+(** [line_resident t line] — is one line present (does not touch LRU)? *)
+val line_resident : t -> int -> bool
+
 (** [block_resident t ~offset_bits ~size_bits] — restricted-placement hit
     test (does not touch LRU state). *)
 val block_resident : t -> offset_bits:int -> size_bits:int -> bool

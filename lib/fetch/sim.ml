@@ -14,6 +14,23 @@ type result = {
   lines_fetched : int;
   bus_flips : int;
   bus_beats : int;
+  faults_injected : int;
+  faults_detected : int;
+  faults_corrected : int;
+  silent_corruptions : int;
+  machine_checks : int;
+  recovery_cycles : int;
+}
+
+type fault_plan = {
+  rom_image : string;
+  line_events : (int * int) array;
+  decode_check :
+    string ->
+    int ->
+    (Tepic.Op.t list, Encoding.Scheme.decode_error) Stdlib.result;
+  reference : int -> Tepic.Op.t list;
+  max_retries : int;
 }
 
 let model_name = function
@@ -21,7 +38,10 @@ let model_name = function
   | Config.Tailored -> "tailored"
   | Config.Compressed -> "compressed"
 
-let run ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
+let ops_equal a b =
+  try List.for_all2 Tepic.Op.equal a b with Invalid_argument _ -> false
+
+let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
   let cache = Line_cache.create cfg in
   let atb = Atb.create cfg ~num_blocks:(Array.length att.Encoding.Att.entries) in
   let l0 = L0_buffer.create cfg in
@@ -34,11 +54,62 @@ let run ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
   let lines_fetched = ref 0 in
   let prev = ref None in
   let predicted_next = ref (-1) in
+  (* Fault state: flips applied to resident lines but not yet overwritten by
+     a refill, plus the blocks whose ROM bytes differ from the clean image. *)
+  let injected = ref 0 and detected = ref 0 and corrected = ref 0 in
+  let silent = ref 0 and traps = ref 0 and recovery = ref 0 in
+  let line_flips : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let visit = ref 0 and ev_i = ref 0 in
+  let rom_dirty =
+    match faults with
+    | None -> [||]
+    | Some f ->
+        if String.equal f.rom_image scheme.Encoding.Scheme.image then [||]
+        else
+          Array.mapi
+            (fun i off ->
+              let sz = scheme.Encoding.Scheme.block_bits.(i) in
+              let b0 = off / 8 and b1 = (off + max 1 sz - 1) / 8 in
+              let len =
+                min (String.length f.rom_image)
+                  (String.length scheme.Encoding.Scheme.image)
+              in
+              let rec differs k =
+                k <= b1
+                && (k >= len
+                   || f.rom_image.[k] <> scheme.Encoding.Scheme.image.[k]
+                   || differs (k + 1))
+              in
+              differs b0)
+            scheme.Encoding.Scheme.block_offset_bits
+  in
+  let forget_flips lines = List.iter (Hashtbl.remove line_flips) lines in
   Emulator.Trace.iter
     (fun b ->
       let e = att.Encoding.Att.entries.(b) in
       let offset_bits = scheme.Encoding.Scheme.block_offset_bits.(b) in
       let size_bits = scheme.Encoding.Scheme.block_bits.(b) in
+      (* 0. Deliver this visit's scheduled upsets.  An upset only lands when
+         its line is resident — bits in empty frames have no storage cell to
+         flip — so the applied count can trail the schedule. *)
+      (match faults with
+      | Some f ->
+          while
+            !ev_i < Array.length f.line_events
+            && fst f.line_events.(!ev_i) <= !visit
+          do
+            let _, bit = f.line_events.(!ev_i) in
+            incr ev_i;
+            let line = bit / cfg.Config.line_bits in
+            if Line_cache.line_resident cache line then begin
+              incr injected;
+              let prior =
+                Option.value ~default:[] (Hashtbl.find_opt line_flips line)
+              in
+              Hashtbl.replace line_flips line (bit :: prior)
+            end
+          done
+      | None -> ());
       (* 1. Resolve the previous block's prediction and train it. *)
       let predicted =
         match !prev with
@@ -65,14 +136,77 @@ let run ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
       in
       if not buffer_hit then begin
         if cache_hit then incr l1_hits else incr l1_misses;
-        (* Memory traffic for the missing lines, then fill. *)
-        List.iter
-          (fun line -> ignore (Bus.fetch_line bus line))
-          (Line_cache.fetched_lines cache ~offset_bits ~size_bits);
+        (* Memory traffic for the missing lines, then fill.  A refill
+           overwrites any pending upset in those lines. *)
+        let missing = Line_cache.fetched_lines cache ~offset_bits ~size_bits in
+        List.iter (fun line -> ignore (Bus.fetch_line bus line)) missing;
+        forget_flips missing;
         lines_fetched :=
           !lines_fetched + Line_cache.touch_block cache ~offset_bits ~size_bits;
         if compressed then L0_buffer.insert l0 b ~ops:e.Encoding.Att.ops
       end;
+      (* 3b. Fault delivery check.  The L0 buffer holds already-decompressed
+         MOPs, so a buffer hit bypasses both fault surfaces; every other
+         delivery re-reads cached code bits and runs the checked decoder
+         when the block's backing bits may be corrupt. *)
+      (match faults with
+      | Some f when not buffer_hit ->
+          let first, last =
+            Line_cache.lines_of_block cache ~offset_bits ~size_bits
+          in
+          let flips = ref [] in
+          if Hashtbl.length line_flips > 0 then
+            for l = first to last do
+              match Hashtbl.find_opt line_flips l with
+              | Some bits ->
+                  List.iter
+                    (fun k ->
+                      if k >= offset_bits && k < offset_bits + size_bits then
+                        flips := k :: !flips)
+                    bits
+              | None -> ()
+            done;
+          let dirty =
+            !flips <> [] || (Array.length rom_dirty > 0 && rom_dirty.(b))
+          in
+          if dirty then begin
+            let img =
+              if !flips = [] then f.rom_image
+              else Bits.flip_bits f.rom_image !flips
+            in
+            match f.decode_check img b with
+            | Ok ops when ops_equal ops (f.reference b) -> ()
+            | Ok _ -> incr silent
+            | Error _ ->
+                incr detected;
+                (* Recovery: invalidate the block's lines and refetch from
+                   ROM at the full miss penalty; after [max_retries] failed
+                   attempts, raise a machine check and deliver nothing. *)
+                let all_lines =
+                  List.init (last - first + 1) (fun i -> first + i)
+                in
+                let rec retry k =
+                  forget_flips all_lines;
+                  List.iter
+                    (fun line -> ignore (Bus.fetch_line bus line))
+                    all_lines;
+                  lines_fetched := !lines_fetched + List.length all_lines;
+                  let pen =
+                    Config.penalty model ~predicted:false ~cache_hit:false
+                      ~buffer_hit:false ~lines:e.Encoding.Att.lines
+                  in
+                  recovery := !recovery + pen;
+                  cycles := !cycles + pen;
+                  match f.decode_check f.rom_image b with
+                  | Ok ops when ops_equal ops (f.reference b) -> incr corrected
+                  | Ok _ -> incr silent
+                  | Error _ ->
+                      if k + 1 < f.max_retries then retry (k + 1)
+                      else incr traps
+                in
+                retry 0
+          end
+      | _ -> ());
       (* 4. Cycle accounting: Table 1 initiation plus MOP streaming. *)
       let pen =
         Config.penalty model ~predicted ~cache_hit ~buffer_hit
@@ -88,14 +222,17 @@ let run ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
         let p = !predicted_next in
         let p_off = scheme.Encoding.Scheme.block_offset_bits.(p) in
         let p_sz = scheme.Encoding.Scheme.block_bits.(p) in
-        List.iter
-          (fun line -> ignore (Bus.fetch_line bus line))
-          (Line_cache.fetched_lines cache ~offset_bits:p_off ~size_bits:p_sz);
+        let missing =
+          Line_cache.fetched_lines cache ~offset_bits:p_off ~size_bits:p_sz
+        in
+        List.iter (fun line -> ignore (Bus.fetch_line bus line)) missing;
+        forget_flips missing;
         lines_fetched :=
           !lines_fetched
           + Line_cache.touch_block cache ~offset_bits:p_off ~size_bits:p_sz
       end;
-      prev := Some b)
+      prev := Some b;
+      incr visit)
     trace;
   {
     model = model_name model;
@@ -114,6 +251,12 @@ let run ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
     lines_fetched = !lines_fetched;
     bus_flips = Bus.total_flips bus;
     bus_beats = Bus.total_beats bus;
+    faults_injected = !injected;
+    faults_detected = !detected;
+    faults_corrected = !corrected;
+    silent_corruptions = !silent;
+    machine_checks = !traps;
+    recovery_cycles = !recovery;
   }
 
 let run_ideal ~(att : Encoding.Att.t) trace =
@@ -142,10 +285,20 @@ let run_ideal ~(att : Encoding.Att.t) trace =
     lines_fetched = 0;
     bus_flips = 0;
     bus_beats = 0;
+    faults_injected = 0;
+    faults_detected = 0;
+    faults_corrected = 0;
+    silent_corruptions = 0;
+    machine_checks = 0;
+    recovery_cycles = 0;
   }
 
 let pp ppf r =
   Format.fprintf ppf
     "%-10s ipc=%.3f cycles=%d ops=%d l1=%d/%d l0=%d/%d mispred=%d flips=%d"
     r.model r.ipc r.cycles r.ops_delivered r.l1_hits r.l1_misses r.l0_hits
-    r.l0_misses r.mispredicts r.bus_flips
+    r.l0_misses r.mispredicts r.bus_flips;
+  if r.faults_injected > 0 || r.faults_detected > 0 then
+    Format.fprintf ppf " faults=%d det=%d corr=%d sdc=%d mc=%d rec=%d"
+      r.faults_injected r.faults_detected r.faults_corrected
+      r.silent_corruptions r.machine_checks r.recovery_cycles

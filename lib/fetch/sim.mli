@@ -13,7 +13,15 @@
 
     Every model fetches blocks atomically (restricted placement), predicts
     the next block with the ATB-resident 2-bit/last-target predictor, and
-    streams one MOP per cycle after the Table 1 initiation penalty. *)
+    streams one MOP per cycle after the Table 1 initiation penalty.
+
+    The simulator can additionally run a soft-error campaign (a
+    {!fault_plan}): scheduled single-bit upsets land in resident cache
+    lines, a possibly-corrupt ROM backs every refill, and each delivery of
+    a dirty block runs the scheme's checked decoder.  A detected corruption
+    triggers the recovery policy — invalidate the block's lines, refetch
+    from ROM at the full miss penalty, retry up to [max_retries] times,
+    then raise a machine check. *)
 
 type result = {
   model : string;
@@ -31,13 +39,42 @@ type result = {
   lines_fetched : int;
   bus_flips : int;  (** Figure 14 metric *)
   bus_beats : int;
+  faults_injected : int;  (** upsets that landed in a resident line *)
+  faults_detected : int;  (** deliveries the checked decoder rejected *)
+  faults_corrected : int;  (** detections healed by a ROM refetch *)
+  silent_corruptions : int;  (** wrong MOPs delivered without detection *)
+  machine_checks : int;  (** recoveries abandoned after [max_retries] *)
+  recovery_cycles : int;  (** cycles spent inside the recovery loop *)
 }
 
-(** [run ~model ~cfg ~scheme ~att trace] — replay [trace].  [scheme] must
-    be the layout the model caches ([Baseline] image for [Base], tailored
-    image for [Tailored], a Huffman image for [Compressed]); [att] must be
-    built from the same scheme with [cfg]'s line size. *)
+(** A deterministic soft-error campaign for one [run].
+
+    [line_events] is sorted by visit index; event [(v, bit)] flips absolute
+    image bit [bit] at the start of visit [v], provided the line holding it
+    is resident (upsets aimed at empty frames are dropped — see
+    [faults_injected]).  [rom_image] backs refills and recovery refetches;
+    pass the scheme's own image for a cache-only campaign, or a pre-flipped
+    copy to model ROM cell faults.  [decode_check] must be total (e.g.
+    [Encoding.Scheme.decode_block_checked] partially applied) and
+    [reference] gives the golden MOPs used to classify silent
+    corruptions. *)
+type fault_plan = {
+  rom_image : string;
+  line_events : (int * int) array;
+  decode_check :
+    string ->
+    int ->
+    (Tepic.Op.t list, Encoding.Scheme.decode_error) Stdlib.result;
+  reference : int -> Tepic.Op.t list;
+  max_retries : int;
+}
+
+(** [run ?faults ~model ~cfg ~scheme ~att trace] — replay [trace].  [scheme]
+    must be the layout the model caches ([Baseline] image for [Base],
+    tailored image for [Tailored], a Huffman image for [Compressed]); [att]
+    must be built from the same scheme with [cfg]'s line size. *)
 val run :
+  ?faults:fault_plan ->
   model:Config.model ->
   cfg:Config.t ->
   scheme:Encoding.Scheme.t ->

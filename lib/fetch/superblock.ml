@@ -185,4 +185,10 @@ let run ~model ~cfg ~scheme ~(att : Encoding.Att.t) t trace =
     lines_fetched = !lines_fetched;
     bus_flips = Bus.total_flips bus;
     bus_beats = Bus.total_beats bus;
+    faults_injected = 0;
+    faults_detected = 0;
+    faults_corrected = 0;
+    silent_corruptions = 0;
+    machine_checks = 0;
+    recovery_cycles = 0;
   }

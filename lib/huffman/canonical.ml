@@ -96,6 +96,29 @@ let read t r =
   done;
   match !result with Some s -> s | None -> assert false
 
+let read_opt t r =
+  let start = Bits.Reader.pos r in
+  let acc = ref 0 and len = ref 0 in
+  let result = ref None in
+  let dead = ref false in
+  while !result = None && not !dead do
+    if !len >= t.max_len then dead := true
+    else
+      match Bits.Reader.read_bit_opt r with
+      | None -> dead := true
+      | Some b ->
+          acc := (!acc lsl 1) lor (if b then 1 else 0);
+          incr len;
+          let l = !len in
+          if t.first_code.(l) >= 0 then begin
+            let offset = !acc - t.first_code.(l) in
+            if offset >= 0 && offset < t.count_at.(l) then
+              result := Some t.symbols.(t.first_index.(l) + offset)
+          end
+  done;
+  if !result = None then Bits.Reader.seek r start;
+  !result
+
 let entries t = Array.length t.symbols
 let max_length t = t.max_len
 

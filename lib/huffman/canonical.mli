@@ -27,6 +27,11 @@ val write : t -> Bits.Writer.t -> int -> unit
     for non-complete codes) or a truncated stream. *)
 val read : t -> Bits.Reader.t -> int
 
+(** [read_opt t r] — total variant of {!read}: [None] instead of raising on
+    a codepoint outside the alphabet or a truncated stream, with the cursor
+    restored to where the symbol started. *)
+val read_opt : t -> Bits.Reader.t -> int option
+
 val entries : t -> int
 val max_length : t -> int
 

@@ -36,6 +36,11 @@ val code_length : t -> int -> int
 val mem : t -> int -> bool
 val write : t -> Bits.Writer.t -> int -> unit
 val read : t -> Bits.Reader.t -> int
+
+(** [read_opt t r] — total variant of {!read}: [None] on a codepoint outside
+    the alphabet or a truncated stream (cursor restored), so corrupted
+    streams are detected without an exception crossing the decode path. *)
+val read_opt : t -> Bits.Reader.t -> int option
 val canonical : t -> Canonical.t
 
 (** [decoder_transistors t] evaluates the paper's worst-case decoder cost

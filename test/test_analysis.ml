@@ -226,10 +226,12 @@ let dummy_scheme ~image ~offsets ~bits =
     table_bits = 0;
     block_offset_bits = offsets;
     block_bits = bits;
+    frame = Encoding.Scheme.no_frame;
     decoder =
       { Encoding.Scheme.dict_entries = 0; max_code_bits = 0; entry_bits = 0;
         transistors = 0 };
     books = [];
+    decode_payload = (fun _ _ -> []);
     decode_block = (fun _ -> []);
   }
 

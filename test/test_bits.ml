@@ -57,7 +57,7 @@ let test_bounds () =
     (fun () -> Bits.Writer.add_bits w ~width:3 8);
   let r = Bits.Reader.of_string "" in
   Alcotest.check_raises "exhausted reader"
-    (Invalid_argument "Bits.Reader.read_bit: exhausted") (fun () ->
+    (Invalid_argument "Bits.Reader.read_bit: exhausted at bit 0/0") (fun () ->
       ignore (Bits.Reader.read_bit r))
 
 let test_popcount () =

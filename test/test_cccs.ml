@@ -14,4 +14,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("robustness", Test_robustness.suite);
       ("analysis", Test_analysis.suite);
+      ("faults", Test_faults.suite);
     ]

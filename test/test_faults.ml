@@ -1,0 +1,382 @@
+(* Fault-injection, protected framing and recovery-path tests. *)
+
+module A = Cccs_analysis
+
+let check = Alcotest.(check int)
+
+let fir_prog =
+  lazy
+    (Cccs.Pipeline.compile (Workloads.Kernels.fir ~taps:8 ~samples:8))
+      .Cccs.Pipeline.program
+
+let fir_trace =
+  lazy
+    (Emulator.Exec.run ~max_blocks:100_000 (Lazy.force fir_prog))
+      .Emulator.Exec.trace
+
+(* {1 CRC} *)
+
+let test_crc_vectors () =
+  (* Standard check inputs: CRC-8 (poly 0x07, init 0) of "123456789" is
+     0xF4; CRC-16/XMODEM (poly 0x1021, init 0) is 0x31C3. *)
+  check "crc8 check vector" 0xF4
+    (Bits.Crc.of_string ~width:8 ~poly:Bits.Crc.crc8_poly "123456789");
+  check "crc16 check vector" 0x31C3
+    (Bits.Crc.of_string ~width:16 ~poly:Bits.Crc.crc16_poly "123456789")
+
+let test_crc_single_bit () =
+  (* Any generator polynomial with more than one term detects every
+     single-bit error: exhaustively flip each bit of a sample message. *)
+  let msg = "\x42\x00\xff\x19" in
+  List.iter
+    (fun (width, poly) ->
+      let clean = Bits.Crc.of_string ~width ~poly msg in
+      for k = 0 to (8 * String.length msg) - 1 do
+        let crc = Bits.Crc.of_string ~width ~poly (Bits.flip_bits msg [ k ]) in
+        if crc = clean then
+          Alcotest.failf "crc-%d missed a flip at bit %d" width k
+      done)
+    [ (8, Bits.Crc.crc8_poly); (16, Bits.Crc.crc16_poly) ]
+
+(* {1 Total readers} *)
+
+let test_read_opt () =
+  let r = Bits.Reader.of_string "\xA5" in
+  Alcotest.(check (option bool)) "first bit" (Some true)
+    (Bits.Reader.read_bit_opt r);
+  Bits.Reader.seek r 8;
+  Alcotest.(check (option bool)) "exhausted" None (Bits.Reader.read_bit_opt r);
+  Bits.Reader.seek r 4;
+  Alcotest.(check (option int)) "short read" None
+    (Bits.Reader.read_bits_opt r ~width:5);
+  check "cursor unmoved on failure" 4 (Bits.Reader.pos r);
+  Alcotest.(check (option int)) "exact read" (Some 5)
+    (Bits.Reader.read_bits_opt r ~width:4)
+
+let test_codebook_read_opt () =
+  let f = Huffman.Freq.create () in
+  List.iteri (fun i c -> Huffman.Freq.add_many f i c) [ 50; 20; 9; 4 ];
+  let book = Huffman.Codebook.make ~symbol_bits:(fun _ -> 8) f in
+  let w = Bits.Writer.create () in
+  Huffman.Codebook.write book w 3;
+  let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+  Alcotest.(check (option int)) "clean symbol" (Some 3)
+    (Huffman.Codebook.read_opt book r);
+  (* Truncated stream: the total read returns None, cursor restored. *)
+  let r = Bits.Reader.of_string "" in
+  Alcotest.(check (option int)) "truncated" None
+    (Huffman.Codebook.read_opt book r);
+  check "cursor restored" 0 (Bits.Reader.pos r)
+
+(* {1 Protected framing} *)
+
+let protected_full =
+  lazy
+    (Encoding.Scheme.protect Encoding.Scheme.Crc8
+       (Encoding.Full_huffman.build (Lazy.force fir_prog)))
+
+let test_protect_roundtrip () =
+  let prog = Lazy.force fir_prog in
+  List.iter
+    (fun (p, build) ->
+      let sc = build prog in
+      let ps = Encoding.Scheme.protect p sc in
+      Encoding.Scheme.verify ps prog;
+      let n = Array.length ps.Encoding.Scheme.block_bits in
+      let f = ps.Encoding.Scheme.frame in
+      check "protection bits accounted"
+        (n * (f.Encoding.Scheme.len_bits + f.Encoding.Scheme.guard_bits))
+        f.Encoding.Scheme.protection_bits;
+      Alcotest.(check bool)
+        "protection costs code bits" true
+        (ps.Encoding.Scheme.code_bits > sc.Encoding.Scheme.code_bits);
+      for i = 0 to n - 1 do
+        match Encoding.Scheme.decode_block_checked ps i with
+        | Ok ops ->
+            Alcotest.(check bool)
+              "checked decode matches" true
+              (ops = Tepic.Program.block_ops (Tepic.Program.block prog i))
+        | Error e ->
+            Alcotest.failf "clean protected block rejected: %s"
+              (Encoding.Scheme.decode_error_to_string e)
+      done)
+    [
+      (Encoding.Scheme.Crc8, Encoding.Full_huffman.build);
+      (Encoding.Scheme.Crc16, Encoding.Byte_huffman.build);
+      (Encoding.Scheme.Crc8, Encoding.Baseline.build);
+    ]
+
+let test_protect_twice_rejected () =
+  let ps = Lazy.force protected_full in
+  Alcotest.check_raises "double protect"
+    (Invalid_argument "Scheme.protect: scheme is already protected")
+    (fun () -> ignore (Encoding.Scheme.protect Encoding.Scheme.Crc16 ps))
+
+let test_every_flip_detected () =
+  (* The protected-framing guarantee: EVERY single-bit flip inside a block
+     frame — length field, payload or guard word — is detected.  Exhaustive
+     over the first blocks of the protected full-Huffman image. *)
+  let ps = Lazy.force protected_full in
+  let blocks = min 4 (Array.length ps.Encoding.Scheme.block_bits) in
+  for b = 0 to blocks - 1 do
+    let off = ps.Encoding.Scheme.block_offset_bits.(b) in
+    for k = off to off + ps.Encoding.Scheme.block_bits.(b) - 1 do
+      let img = Bits.flip_bits ps.Encoding.Scheme.image [ k ] in
+      match Encoding.Scheme.decode_block_checked ~image:img ps b with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "flip at bit %d of block %d undetected" k b
+    done
+  done
+
+let test_unprotected_decoder_misses_flips () =
+  (* The counterpart: without framing some flips decode Ok — to wrong ops,
+     silently.  Fixed-width baseline fields make this certain: an operand
+     bit flip is a perfectly well-formed different instruction. *)
+  let prog = Lazy.force fir_prog in
+  let sc = Encoding.Baseline.build prog in
+  let undetected = ref 0 in
+  let off = sc.Encoding.Scheme.block_offset_bits.(0) in
+  for k = off to off + sc.Encoding.Scheme.block_bits.(0) - 1 do
+    match
+      Encoding.Scheme.decode_block_checked
+        ~image:(Bits.flip_bits sc.Encoding.Scheme.image [ k ])
+        sc 0
+    with
+    | Ok _ -> incr undetected
+    | Error _ -> ()
+  done;
+  Alcotest.(check bool) "unprotected decode accepts some flips" true
+    (!undetected > 0)
+
+(* {1 Campaigns} *)
+
+let test_rng_deterministic () =
+  let a = Cccs.Faults.Rng.create 42 and b = Cccs.Faults.Rng.create 42 in
+  for _ = 1 to 100 do
+    let x = Cccs.Faults.Rng.int a 1000 and y = Cccs.Faults.Rng.int b 1000 in
+    check "same stream" x y;
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 1000)
+  done;
+  let c = Cccs.Faults.Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Cccs.Faults.Rng.int a 1000 <> Cccs.Faults.Rng.int c 1000 then
+      differs := true
+  done;
+  Alcotest.(check bool) "different seed, different stream" true !differs
+
+let test_campaign_protected_no_sdc () =
+  (* The acceptance property: a fixed-seed campaign over all six schemes —
+     protected mode has zero silent corruptions, nonzero detections and a
+     nonzero recovery bill; unprotected mode leaks strictly more SDC. *)
+  let spec =
+    {
+      Cccs.Faults.bench = "fir";
+      seed = 11;
+      flips = 24;
+      retries = 2;
+      protection = Encoding.Scheme.Crc8;
+    }
+  in
+  let prot = Cccs.Faults.run spec in
+  let unprot =
+    Cccs.Faults.run { spec with protection = Encoding.Scheme.Unprotected }
+  in
+  check "six schemes" 6 (List.length prot.Cccs.Faults.rows);
+  let sum f t = List.fold_left (fun a r -> a + f r) 0 t.Cccs.Faults.rows in
+  let detections (r : Cccs.Faults.scheme_report) =
+    r.Cccs.Faults.rom.Cccs.Faults.detected
+    + r.Cccs.Faults.table.Cccs.Faults.detected
+    + r.Cccs.Faults.cache.Cccs.Faults.detected
+  in
+  check "protected: zero silent corruptions" 0
+    (sum Cccs.Faults.silent_total prot);
+  Alcotest.(check bool) "protected: faults detected" true
+    (sum detections prot > 0);
+  Alcotest.(check bool) "protected: recovery cycles accrue" true
+    (sum (fun r -> r.Cccs.Faults.cache.Cccs.Faults.recovery_cycles) prot > 0);
+  Alcotest.(check bool) "unprotected leaks more SDC" true
+    (sum Cccs.Faults.silent_total unprot > sum Cccs.Faults.silent_total prot);
+  List.iter
+    (fun (r : Cccs.Faults.scheme_report) ->
+      Alcotest.(check bool)
+        (r.Cccs.Faults.scheme ^ ": protection costs ratio") true
+        (r.Cccs.Faults.protection_overhead > 0.))
+    prot.Cccs.Faults.rows
+
+(* {1 Recovering fetch path} *)
+
+let hot_block_event trace =
+  (* Pick the most-visited block.  An upset scheduled one visit after its
+     first delivery lands in a line that is certainly resident, and the
+     block is certainly delivered again afterwards. *)
+  let arr = Emulator.Trace.to_array trace in
+  let visits = Hashtbl.create 16 in
+  Array.iter
+    (fun b ->
+      Hashtbl.replace visits b
+        (1 + Option.value ~default:0 (Hashtbl.find_opt visits b)))
+    arr;
+  let hot, _ =
+    Hashtbl.fold
+      (fun b c ((_, best) as acc) -> if c > best then (b, c) else acc)
+      visits (-1, 0)
+  in
+  let first = ref (-1) in
+  Array.iteri (fun i b -> if b = hot && !first < 0 then first := i) arr;
+  (hot, !first + 1)
+
+let recovery_fixture () =
+  let prog = Lazy.force fir_prog in
+  let trace = Lazy.force fir_trace in
+  let sc =
+    Encoding.Scheme.protect Encoding.Scheme.Crc8 (Encoding.Baseline.build prog)
+  in
+  let cfg = Fetch.Config.default_base in
+  let att = Encoding.Att.build sc ~line_bits:cfg.Fetch.Config.line_bits prog in
+  let reference b = Tepic.Program.block_ops (Tepic.Program.block prog b) in
+  let decode_check img b =
+    Encoding.Scheme.decode_block_checked ~image:img sc b
+  in
+  (trace, sc, cfg, att, reference, decode_check)
+
+let test_sim_recovers_cache_upset () =
+  let trace, sc, cfg, att, reference, decode_check = recovery_fixture () in
+  let hot, visit = hot_block_event trace in
+  let bit =
+    sc.Encoding.Scheme.block_offset_bits.(hot)
+    + (sc.Encoding.Scheme.block_bits.(hot) / 2)
+  in
+  let faults =
+    {
+      Fetch.Sim.rom_image = sc.Encoding.Scheme.image;
+      line_events = [| (visit, bit) |];
+      decode_check;
+      reference;
+      max_retries = 2;
+    }
+  in
+  let clean =
+    Fetch.Sim.run ~model:Fetch.Config.Base ~cfg ~scheme:sc ~att trace
+  in
+  let r =
+    Fetch.Sim.run ~faults ~model:Fetch.Config.Base ~cfg ~scheme:sc ~att trace
+  in
+  check "upset landed" 1 r.Fetch.Sim.faults_injected;
+  check "detected once" 1 r.Fetch.Sim.faults_detected;
+  check "corrected by ROM refetch" 1 r.Fetch.Sim.faults_corrected;
+  check "no silent corruption" 0 r.Fetch.Sim.silent_corruptions;
+  check "no machine check" 0 r.Fetch.Sim.machine_checks;
+  Alcotest.(check bool) "recovery billed" true
+    (r.Fetch.Sim.recovery_cycles > 0);
+  check "recovery bill inside the cycle count"
+    (r.Fetch.Sim.cycles - clean.Fetch.Sim.cycles)
+    r.Fetch.Sim.recovery_cycles
+
+let test_sim_rom_fault_machine_check () =
+  (* A ROM cell fault cannot be healed by refetching: bounded retries, then
+     a machine check. *)
+  let trace, sc, cfg, att, reference, decode_check = recovery_fixture () in
+  let hot, _ = hot_block_event trace in
+  let bit =
+    sc.Encoding.Scheme.block_offset_bits.(hot)
+    + (sc.Encoding.Scheme.block_bits.(hot) / 2)
+  in
+  let faults =
+    {
+      Fetch.Sim.rom_image = Bits.flip_bits sc.Encoding.Scheme.image [ bit ];
+      line_events = [||];
+      decode_check;
+      reference;
+      max_retries = 2;
+    }
+  in
+  let r =
+    Fetch.Sim.run ~faults ~model:Fetch.Config.Base ~cfg ~scheme:sc ~att trace
+  in
+  Alcotest.(check bool) "detected" true (r.Fetch.Sim.faults_detected > 0);
+  check "never healed" 0 r.Fetch.Sim.faults_corrected;
+  check "no silent corruption" 0 r.Fetch.Sim.silent_corruptions;
+  Alcotest.(check bool) "machine check raised" true
+    (r.Fetch.Sim.machine_checks > 0)
+
+(* {1 Framing diagnostics} *)
+
+let has code diags =
+  Alcotest.(check bool)
+    (code ^ " fired") true
+    (List.exists (fun (d : A.Diag.t) -> d.A.Diag.code = code) diags)
+
+let test_frame_diags () =
+  let ps = Lazy.force protected_full in
+  let fr = ps.Encoding.Scheme.frame in
+  check "well-formed frame lints clean" 0
+    (List.length
+       (List.filter A.Diag.is_error
+          (A.Encoding_check.check_frame ~workload:"t" ps)));
+  (* E500: guard word width disagrees with the protection kind. *)
+  has "CCCS-E500"
+    (A.Encoding_check.check_frame ~workload:"t"
+       { ps with
+         Encoding.Scheme.frame = { fr with Encoding.Scheme.guard_bits = 4 }
+       });
+  (* E500: a corrupted guard word in the image. *)
+  let tail =
+    ps.Encoding.Scheme.block_offset_bits.(0)
+    + ps.Encoding.Scheme.block_bits.(0)
+    - 1
+  in
+  has "CCCS-E500"
+    (A.Encoding_check.check_frame ~workload:"t"
+       { ps with
+         Encoding.Scheme.image =
+           Bits.flip_bits ps.Encoding.Scheme.image [ tail ]
+       });
+  (* E501: framing bits unaccounted. *)
+  has "CCCS-E501"
+    (A.Encoding_check.check_frame ~workload:"t"
+       { ps with
+         Encoding.Scheme.frame =
+           { fr with Encoding.Scheme.protection_bits = 0 }
+       });
+  (* E501: an unprotected scheme must not claim framing bits. *)
+  has "CCCS-E501"
+    (A.Encoding_check.check_frame ~workload:"t"
+       { ps with
+         Encoding.Scheme.frame =
+           { Encoding.Scheme.no_frame with
+             Encoding.Scheme.protection_bits = 8
+           }
+       });
+  (* E502: length field too narrow for the largest payload. *)
+  has "CCCS-E502"
+    (A.Encoding_check.check_frame ~workload:"t"
+       { ps with
+         Encoding.Scheme.frame = { fr with Encoding.Scheme.len_bits = 1 }
+       })
+
+let suite =
+  [
+    Alcotest.test_case "CRC check vectors" `Quick test_crc_vectors;
+    Alcotest.test_case "CRC detects all single-bit flips" `Quick
+      test_crc_single_bit;
+    Alcotest.test_case "total reader reads" `Quick test_read_opt;
+    Alcotest.test_case "total codebook reads" `Quick test_codebook_read_opt;
+    Alcotest.test_case "protect roundtrip" `Quick test_protect_roundtrip;
+    Alcotest.test_case "double protection rejected" `Quick
+      test_protect_twice_rejected;
+    Alcotest.test_case "every flip in a protected block detected" `Slow
+      test_every_flip_detected;
+    Alcotest.test_case "unprotected decoder misses flips" `Quick
+      test_unprotected_decoder_misses_flips;
+    Alcotest.test_case "campaign rng deterministic" `Quick
+      test_rng_deterministic;
+    Alcotest.test_case "campaign: protected has zero SDC" `Slow
+      test_campaign_protected_no_sdc;
+    Alcotest.test_case "sim recovers a cache upset" `Quick
+      test_sim_recovers_cache_upset;
+    Alcotest.test_case "ROM fault ends in a machine check" `Quick
+      test_sim_rom_fault_machine_check;
+    Alcotest.test_case "framing diagnostics (E500..E502)" `Quick
+      test_frame_diags;
+  ]

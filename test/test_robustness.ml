@@ -47,7 +47,7 @@ let test_truncated_stream_raises () =
   (* Seek past the single symbol and read again: exhaustion must raise. *)
   let r = Bits.Reader.of_string (String.sub s 0 0) in
   Alcotest.check_raises "empty stream"
-    (Invalid_argument "Bits.Reader.read_bit: exhausted") (fun () ->
+    (Invalid_argument "Bits.Reader.read_bit: exhausted at bit 0/0") (fun () ->
       ignore (Huffman.Codebook.read book r))
 
 let test_att_straddling_blocks () =
@@ -72,7 +72,8 @@ let test_trace_bounds () =
 
 let test_reader_seek_bounds () =
   let r = Bits.Reader.of_string "ab" in
-  Alcotest.check_raises "seek past end" (Invalid_argument "Bits.Reader.seek")
+  Alcotest.check_raises "seek past end"
+    (Invalid_argument "Bits.Reader.seek: bit 17 outside stream of 16 bits")
     (fun () -> Bits.Reader.seek r 17)
 
 let test_unspillable_pool_exhaustion () =
