@@ -183,7 +183,7 @@ let run_benchmarks () =
   Printf.printf "\n%-42s %16s %8s\n" "benchmark" "ns/run" "r^2";
   Printf.printf "%s\n" (String.make 68 '-');
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun (name, ols_result) ->
       let est =
         match Analyze.OLS.estimates ols_result with
@@ -193,12 +193,36 @@ let run_benchmarks () =
       let r2 =
         match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
       in
-      Printf.printf "%-42s %16.1f %8.3f\n" name est r2)
+      Printf.printf "%-42s %16.1f %8.3f\n" name est r2;
+      if Float.is_nan est then None else Some (name, est, r2))
     (List.sort compare rows)
+
+(* Machine-readable copy of the table above, archived by CI so timing
+   regressions can be compared across runs. *)
+let write_obs rows =
+  let open Cccs_obs.Json in
+  let row_json (name, ns, r2) =
+    Obj
+      [
+        ("name", Str name);
+        ("ns_per_run", Num ns);
+        ("r_square", Num r2);
+      ]
+  in
+  let j =
+    Obj
+      [
+        ("schema", Str "cccs-bench/1");
+        ("results", Arr (List.map row_json rows));
+      ]
+  in
+  Cccs_obs.Export.write_file "BENCH_obs.json" (to_string j ^ "\n");
+  Printf.printf "\nwrote %d benchmark rows to BENCH_obs.json\n"
+    (List.length rows)
 
 let () =
   Format.printf
     "CCCS reproduction — Larin & Conte, MICRO-32 (1999)@.%s@.@."
     (String.make 78 '=');
   Cccs.Report.all Format.std_formatter ();
-  run_benchmarks ()
+  write_obs (run_benchmarks ())

@@ -1,15 +1,25 @@
 (* cccs — command-line driver for the code-compression study.
 
-   Subcommands: list, compile, compress, simulate, decoder, lint, and
-   the per-figure experiment reproductions (fig5..fig14, all). *)
+   Subcommands: list, compile, compress, simulate, stats, decoder, lint,
+   and the per-figure experiment reproductions (fig5..fig14, all). *)
 
 open Cmdliner
+
+(* Every subcommand threads this first: it installs the Logs reporter on
+   stderr and wires the standard -v / -q / --verbosity flags. *)
+let setup_logs =
+  let init style_renderer level =
+    Fmt_tty.setup_std_outputs ?style_renderer ();
+    Logs.set_level level;
+    Logs.set_reporter (Logs_fmt.reporter ())
+  in
+  Term.(const init $ Fmt_cli.style_renderer () $ Logs_cli.level ())
 
 let find_workload name =
   match Workloads.Suite.find name with
   | Some e -> e
   | None ->
-      Printf.eprintf "unknown workload %S; try `cccs list`\n" name;
+      Logs.err (fun m -> m "unknown workload %S; try `cccs list`" name);
       exit 1
 
 let bench_arg =
@@ -17,7 +27,7 @@ let bench_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
 
 let list_cmd =
-  let run () =
+  let run (() : unit) () =
     List.iter
       (fun (e : Workloads.Suite.entry) ->
         Printf.printf "%-14s %s\n" e.name
@@ -27,10 +37,10 @@ let list_cmd =
       Workloads.Suite.all
   in
   Cmd.v (Cmd.info "list" ~doc:"List available workloads")
-    Term.(const run $ const ())
+    Term.(const run $ setup_logs $ const ())
 
 let compile_cmd =
-  let run bench =
+  let run () bench =
     let r = Cccs.Workload_run.load (find_workload bench) in
     let c = r.Cccs.Workload_run.compiled in
     let prog = c.Cccs.Pipeline.program in
@@ -52,10 +62,10 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile and execute a workload; print statistics")
-    Term.(const run $ bench_arg)
+    Term.(const run $ setup_logs $ bench_arg)
 
 let compress_cmd =
-  let run bench =
+  let run () bench =
     let r = Cccs.Workload_run.load (find_workload bench) in
     let s = Cccs.Experiments.schemes_of r in
     let base_bits = s.Cccs.Experiments.base.Encoding.Scheme.code_bits in
@@ -77,30 +87,85 @@ let compress_cmd =
   in
   Cmd.v
     (Cmd.info "compress" ~doc:"Build every encoding scheme for a workload")
-    Term.(const run $ bench_arg)
+    Term.(const run $ setup_logs $ bench_arg)
+
+let perfetto_arg =
+  let doc =
+    "Also write a Chrome trace-event / Perfetto JSON timeline to $(docv) \
+     (load it in ui.perfetto.dev or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "perfetto" ] ~docv:"FILE" ~doc)
 
 let simulate_cmd =
-  let run bench =
-    ignore (Cccs.Workload_run.load (find_workload bench));
-    let row = List.find
-        (fun (x : Cccs.Experiments.fig13_row) -> x.bench = bench)
-        (Cccs.Experiments.fig13 ())
+  let run () bench perfetto =
+    let r = Cccs.Workload_run.load (find_workload bench) in
+    let s = Cccs.Experiments.schemes_of r in
+    let prog = r.Cccs.Workload_run.compiled.Cccs.Pipeline.program in
+    let trace = r.Cccs.Workload_run.exec.Emulator.Exec.trace in
+    let cfg = Fetch.Config.default in
+    let cfg_base = Fetch.Config.default_base in
+    let att sc c =
+      Encoding.Att.build sc ~line_bits:c.Fetch.Config.line_bits prog
     in
-    List.iter
-      (fun res -> Format.printf "%a@." Fetch.Sim.pp res)
-      [ row.ideal; row.base; row.compressed; row.tailored ]
+    let att_base = att s.Cccs.Experiments.base cfg_base in
+    let tracks = ref [] in
+    (* One recorder per fetch model, so the Perfetto export shows the four
+       models as separate named processes. *)
+    let with_track name f =
+      match perfetto with
+      | None -> f None
+      | Some _ ->
+          let rc = Cccs_obs.Recorder.create () in
+          let res = f (Some (Cccs_obs.Recorder.sink rc)) in
+          tracks := (name, Cccs_obs.Recorder.events rc) :: !tracks;
+          res
+    in
+    (* Bind each run explicitly: list literals evaluate right-to-left, which
+       would register the Perfetto tracks in reverse. *)
+    let ideal =
+      with_track "ideal" (fun obs ->
+          Fetch.Sim.run_ideal ?obs ~att:att_base trace)
+    in
+    let base =
+      with_track "base" (fun obs ->
+          Fetch.Sim.run ?obs ~model:Fetch.Config.Base ~cfg:cfg_base
+            ~scheme:s.Cccs.Experiments.base ~att:att_base trace)
+    in
+    let compressed =
+      with_track "compressed" (fun obs ->
+          Fetch.Sim.run ?obs ~model:Fetch.Config.Compressed ~cfg
+            ~scheme:s.Cccs.Experiments.full
+            ~att:(att s.Cccs.Experiments.full cfg)
+            trace)
+    in
+    let tailored =
+      with_track "tailored" (fun obs ->
+          Fetch.Sim.run ?obs ~model:Fetch.Config.Tailored ~cfg
+            ~scheme:s.Cccs.Experiments.tailored
+            ~att:(att s.Cccs.Experiments.tailored cfg)
+            trace)
+    in
+    let results = [ ideal; base; compressed; tailored ] in
+    List.iter (fun res -> Format.printf "%a@." Fetch.Sim.pp res) results;
+    match perfetto with
+    | None -> ()
+    | Some path ->
+        Cccs_obs.Export.write_file path
+          (Cccs_obs.Json.to_string
+             (Cccs_obs.Export.chrome_trace (List.rev !tracks)));
+        Logs.app (fun m -> m "wrote Perfetto trace to %s" path)
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Run the four fetch models on a SPEC-like workload")
-    Term.(const run $ bench_arg)
+       ~doc:"Run the four fetch models on a workload")
+    Term.(const run $ setup_logs $ bench_arg $ perfetto_arg)
 
 let decoder_cmd =
   let kind_arg =
     let doc = "Decoder to emit: tailored | full | byte." in
     Arg.(value & opt string "tailored" & info [ "kind" ] ~doc)
   in
-  let run bench kind =
+  let run () bench kind =
     let r = Cccs.Workload_run.load (find_workload bench) in
     let s = Cccs.Experiments.schemes_of r in
     match kind with
@@ -135,20 +200,35 @@ let decoder_cmd =
              ~module_name:(bench ^ "_" ^ kind ^ "_dict")
              book)
     | other ->
-        Printf.eprintf "unknown decoder kind %S\n" other;
+        Logs.err (fun m -> m "unknown decoder kind %S" other);
         exit 1
   in
   Cmd.v
     (Cmd.info "decoder" ~doc:"Emit the Verilog decoder for a workload")
-    Term.(const run $ bench_arg $ kind_arg)
+    Term.(const run $ setup_logs $ bench_arg $ kind_arg)
 
 let trace_cmd =
   let path_arg =
     let doc = "Output path for the trace file." in
     Arg.(required & pos 1 (some string) None & info [] ~docv:"PATH" ~doc)
   in
-  let run bench path =
-    let r = Cccs.Workload_run.load (find_workload bench) in
+  let run () bench path perfetto =
+    let e = find_workload bench in
+    let r =
+      match perfetto with
+      | None -> Cccs.Workload_run.load e
+      | Some p ->
+          (* Instrument the whole lower→compile→execute pipeline and dump
+             the stage spans as a Perfetto timeline. *)
+          let rc = Cccs_obs.Recorder.create () in
+          let r = Cccs.Workload_run.load ~obs:(Cccs_obs.Recorder.sink rc) e in
+          Cccs_obs.Export.write_file p
+            (Cccs_obs.Json.to_string
+               (Cccs_obs.Export.chrome_trace
+                  [ ("pipeline", Cccs_obs.Recorder.events rc) ]));
+          Logs.app (fun m -> m "wrote Perfetto span trace to %s" p);
+          r
+    in
     let t = r.Cccs.Workload_run.exec.Emulator.Exec.trace in
     Emulator.Trace.save t path;
     Printf.printf "wrote %d block visits (%d ops) to %s\n"
@@ -157,10 +237,10 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Execute a workload and save its block-address trace to a file")
-    Term.(const run $ bench_arg $ path_arg)
+    Term.(const run $ setup_logs $ bench_arg $ path_arg $ perfetto_arg)
 
 let verify_cmd =
-  let run bench =
+  let run () bench =
     let r = Cccs.Workload_run.load (find_workload bench) in
     let c = r.Cccs.Workload_run.compiled in
     let prog = c.Cccs.Pipeline.program in
@@ -197,7 +277,7 @@ let verify_cmd =
        ~doc:
          "Differentially verify one workload (scheduled vs sequential \
           semantics) and decode-check every scheme")
-    Term.(const run $ bench_arg)
+    Term.(const run $ setup_logs $ bench_arg)
 
 let lint_cmd =
   let bench_opt_arg =
@@ -216,7 +296,7 @@ let lint_cmd =
     let doc = "List the registered analysis passes and exit." in
     Arg.(value & flag & info [ "passes" ] ~doc)
   in
-  let run bench all pass list_passes =
+  let run () bench all pass list_passes =
     if list_passes then begin
       List.iter
         (fun (name, doc) -> Printf.printf "%-16s %s\n" name doc)
@@ -229,7 +309,7 @@ let lint_cmd =
         match bench with
         | Some b -> [ find_workload b ]
         | None ->
-            Printf.eprintf "lint: give a BENCH or --all\n";
+            Logs.err (fun m -> m "lint: give a BENCH or --all");
             exit 2
     in
     let collector = Cccs.Analysis.Diag.Collector.create () in
@@ -244,7 +324,8 @@ let lint_cmd =
               match Cccs.Analysis.run_pass p target with
               | Some ds -> ds
               | None ->
-                  Printf.eprintf "lint: unknown pass %S; try --passes\n" p;
+                  Logs.err (fun m ->
+                      m "lint: unknown pass %S; try --passes" p);
                   exit 2)
         in
         Cccs.Analysis.Diag.Collector.add_list collector diags;
@@ -260,7 +341,8 @@ let lint_cmd =
        ~doc:
          "Run the whole-pipeline static verifier (dataflow, schedule, \
           encoding and decoder checks) on one workload or the whole suite")
-    Term.(const run $ bench_opt_arg $ all_arg $ pass_arg $ passes_arg)
+    Term.(const run $ setup_logs $ bench_opt_arg $ all_arg $ pass_arg
+          $ passes_arg)
 
 let faults_cmd =
   let flips_arg =
@@ -282,7 +364,7 @@ let faults_cmd =
     in
     Arg.(value & opt string "both" & info [ "protect" ] ~docv:"MODE" ~doc)
   in
-  let run bench flips seed retries protect =
+  let run () bench flips seed retries protect =
     ignore (find_workload bench);
     let protections =
       match protect with
@@ -291,8 +373,8 @@ let faults_cmd =
           match Encoding.Scheme.protection_of_name p with
           | Some x -> [ x ]
           | None ->
-              Printf.eprintf
-                "faults: unknown protection %S (none|crc8|crc16|both)\n" p;
+              Logs.err (fun m ->
+                  m "faults: unknown protection %S (none|crc8|crc16|both)" p);
               exit 2)
     in
     let protected_silent = ref 0 in
@@ -311,9 +393,9 @@ let faults_cmd =
             t.Cccs.Faults.rows)
       protections;
     if !protected_silent > 0 then begin
-      Printf.eprintf
-        "faults: %d silent corruption(s) leaked through CRC protection\n"
-        !protected_silent;
+      Logs.err (fun m ->
+          m "faults: %d silent corruption(s) leaked through CRC protection"
+            !protected_silent);
       exit 1
     end
   in
@@ -323,21 +405,113 @@ let faults_cmd =
          "Run a seeded soft-error fault-injection campaign (ROM, cache and \
           decode-table surfaces) over every scheme; nonzero exit if a \
           protected scheme delivers a silent corruption")
-    Term.(const run $ bench_arg $ flips_arg $ seed_arg $ retries_arg
-          $ protect_arg)
+    Term.(const run $ setup_logs $ bench_arg $ flips_arg $ seed_arg
+          $ retries_arg $ protect_arg)
 
 let disasm_cmd =
-  let run bench =
+  let run () bench =
     let r = Cccs.Workload_run.load (find_workload bench) in
     print_string
       (Tepic.Asm.print_program r.Cccs.Workload_run.compiled.Cccs.Pipeline.program)
   in
   Cmd.v
     (Cmd.info "disasm" ~doc:"Print a workload's scheduled TEPIC assembly")
-    Term.(const run $ bench_arg)
+    Term.(const run $ setup_logs $ bench_arg)
+
+let stats_cmd =
+  let json_arg =
+    let doc = "Emit the metrics snapshot as one JSON object on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let flips_arg =
+    let doc =
+      "Also run a seeded fault campaign with $(docv) flips per surface, so \
+       the recovery-latency histogram has samples.  0 disables it."
+    in
+    Arg.(value & opt int 8 & info [ "flips" ] ~docv:"N" ~doc)
+  in
+  let run () bench json flips =
+    let e = find_workload bench in
+    let rc = Cccs_obs.Recorder.create () in
+    let obs = Cccs_obs.Recorder.sink rc in
+    (* Full instrumentation: compiler stage spans, the four fetch models,
+       and (unless --flips 0) a small recovery campaign. *)
+    let r = Cccs.Workload_run.load ~obs e in
+    let s =
+      Cccs_obs.Sink.timed ~obs ~stage:Cccs_obs.Event.Decoder_gen
+        ~label:"schemes" (fun () -> Cccs.Experiments.schemes_of r)
+    in
+    let prog = r.Cccs.Workload_run.compiled.Cccs.Pipeline.program in
+    let base_bits = s.Cccs.Experiments.base.Encoding.Scheme.code_bits in
+    List.iter
+      (fun (sc : Encoding.Scheme.t) ->
+        Cccs_obs.Sink.gauge ~obs
+          ("ratio." ^ sc.Encoding.Scheme.name)
+          (Encoding.Scheme.ratio sc ~baseline_bits:base_bits))
+      [
+        s.Cccs.Experiments.base;
+        s.Cccs.Experiments.full;
+        s.Cccs.Experiments.tailored;
+      ];
+    let trace = r.Cccs.Workload_run.exec.Emulator.Exec.trace in
+    let cfg = Fetch.Config.default in
+    let cfg_base = Fetch.Config.default_base in
+    let att sc c =
+      Encoding.Att.build sc ~line_bits:c.Fetch.Config.line_bits prog
+    in
+    let att_base = att s.Cccs.Experiments.base cfg_base in
+    ignore (Fetch.Sim.run_ideal ~obs ~att:att_base trace);
+    ignore
+      (Fetch.Sim.run ~obs ~model:Fetch.Config.Base ~cfg:cfg_base
+         ~scheme:s.Cccs.Experiments.base ~att:att_base trace);
+    ignore
+      (Fetch.Sim.run ~obs ~model:Fetch.Config.Compressed ~cfg
+         ~scheme:s.Cccs.Experiments.full
+         ~att:(att s.Cccs.Experiments.full cfg)
+         trace);
+    ignore
+      (Fetch.Sim.run ~obs ~model:Fetch.Config.Tailored ~cfg
+         ~scheme:s.Cccs.Experiments.tailored
+         ~att:(att s.Cccs.Experiments.tailored cfg)
+         trace);
+    if flips > 0 then
+      ignore
+        (Cccs.Faults.run ~obs
+           {
+             Cccs.Faults.bench;
+             seed = 1999;
+             flips;
+             retries = 2;
+             protection = Encoding.Scheme.Crc8;
+           });
+    let m = Cccs_obs.Recorder.summarize rc in
+    if json then
+      print_endline
+        (Cccs_obs.Json.to_string
+           (Cccs_obs.Export.json_of_snapshot
+              ~extra:
+                [
+                  ("schema", Cccs_obs.Json.Str "cccs-stats/1");
+                  ("bench", Cccs_obs.Json.Str bench);
+                  ("events", Cccs_obs.Json.int (Cccs_obs.Recorder.length rc));
+                ]
+              (Cccs_obs.Metrics.snapshot m)))
+    else begin
+      Printf.printf "bench          %s\n" bench;
+      Printf.printf "events         %d\n" (Cccs_obs.Recorder.length rc);
+      Format.printf "%a@." Cccs_obs.Metrics.pp m
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a workload under full instrumentation (compiler spans, all \
+          four fetch models, optional fault campaign) and print the \
+          metrics snapshot")
+    Term.(const run $ setup_logs $ bench_arg $ json_arg $ flips_arg)
 
 let export_cmd =
-  let run () =
+  let run (() : unit) () =
     (* CSV on stdout: one section per figure, ready for any plotting tool. *)
     let rows5 = Cccs.Experiments.fig5 () in
     print_endline "# fig5: bench,scheme,ratio";
@@ -363,15 +537,24 @@ let export_cmd =
         List.iter
           (fun (m, f) -> Printf.printf "fig14,%s,%s,%d\n" r.bench m f)
           r.flips)
-      (Cccs.Experiments.fig14 ())
+      (Cccs.Experiments.fig14 ());
+    (* Full simulator records, one row per (bench, model): every counter in
+       Fetch.Sim.result, including the six fault/recovery fields. *)
+    print_endline ("# sim: bench," ^ Fetch.Sim.csv_header);
+    List.iter
+      (fun (r : Cccs.Experiments.fig13_row) ->
+        List.iter
+          (fun res -> Printf.printf "sim,%s,%s\n" r.bench (Fetch.Sim.csv_row res))
+          [ r.ideal; r.base; r.compressed; r.tailored ])
+      (Cccs.Experiments.fig13 ())
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Dump figure data as CSV for external plotting")
-    Term.(const run $ const ())
+    Term.(const run $ setup_logs $ const ())
 
 let fig_cmd name doc render =
   Cmd.v (Cmd.info name ~doc)
-    Term.(const (fun () -> render Format.std_formatter) $ const ())
+    Term.(const (fun () -> render Format.std_formatter) $ setup_logs)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
@@ -389,6 +572,7 @@ let () =
       lint_cmd;
       faults_cmd;
       disasm_cmd;
+      stats_cmd;
       export_cmd;
       fig_cmd "fig5" "Reproduce Figure 5 (compression ratios)" (fun ppf ->
           Cccs.Report.fig5 ppf (Cccs.Experiments.fig5 ()));

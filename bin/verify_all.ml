@@ -7,7 +7,17 @@
    verifier (Cccs.Analysis) over the CFG, schedule, encodings and decoder.
 
    This is the long-form version of what `dune runtest` samples; CI or a
-   release check can run it directly:  dune exec bin/verify_all.exe *)
+   release check can run it directly:  dune exec bin/verify_all.exe
+
+   With --json the human-readable report moves to stderr and stdout gets a
+   single machine-readable JSON object (schema "cccs-verify/1") that CI
+   archives as an artifact.  Exit codes are identical in both modes. *)
+
+let json_mode = Array.exists (( = ) "--json") Sys.argv
+
+(* Human-readable output; demoted to stderr in --json mode so stdout stays
+   pure JSON. *)
+let out = if json_mode then stderr else stdout
 
 type row = {
   name : string;
@@ -18,6 +28,7 @@ type row = {
   lint_warnings : int;
   faults_ok : bool;
   faults_detected : int;
+  seconds : float;
 }
 
 let check_workload (e : Workloads.Suite.entry) =
@@ -85,9 +96,11 @@ let check_workload (e : Workloads.Suite.entry) =
   let lint_errors = List.filter Cccs.Analysis.Diag.is_error diags in
   let lint_ok = lint_errors = [] in
   List.iter
-    (fun d -> print_endline ("  " ^ Cccs.Analysis.Diag.to_string d))
+    (fun d ->
+      Printf.fprintf out "  %s\n" (Cccs.Analysis.Diag.to_string d))
     lint_errors;
-  Printf.printf
+  let seconds = Unix.gettimeofday () -. t0 in
+  Printf.fprintf out
     "%-12s blocks=%5d ops=%6d ilp=%4.2f hoist=%4d | dyn_ops=%8d visits=%7d \
      %s | mem %s trace %s schemes %s lint %s faults %s(%d det) | %.2fs\n%!"
     r.Cccs.Workload_run.name
@@ -105,8 +118,7 @@ let check_workload (e : Workloads.Suite.entry) =
     (if schemes_ok then "OK" else "MISMATCH")
     (if lint_ok then "OK" else "FAIL")
     (if faults_ok then "OK" else "FAIL")
-    faults_detected
-    (Unix.gettimeofday () -. t0);
+    faults_detected seconds;
   {
     name = r.Cccs.Workload_run.name;
     mem_ok;
@@ -116,36 +128,77 @@ let check_workload (e : Workloads.Suite.entry) =
     lint_warnings = List.length diags - List.length lint_errors;
     faults_ok;
     faults_detected;
+    seconds;
   }
+
+let checks =
+  [
+    ("differential-memory", fun r -> r.mem_ok);
+    ("differential-trace", fun r -> r.trace_ok);
+    ("scheme-decode-back", fun r -> r.schemes_ok);
+    ("static-lint", fun r -> r.lint_ok);
+    ("fault-protection", fun r -> r.faults_ok);
+  ]
+
+let json_report rows ok =
+  let open Cccs_obs.Json in
+  let row_json r =
+    Obj
+      [
+        ("name", Str r.name);
+        ("mem_ok", Bool r.mem_ok);
+        ("trace_ok", Bool r.trace_ok);
+        ("schemes_ok", Bool r.schemes_ok);
+        ("lint_ok", Bool r.lint_ok);
+        ("lint_warnings", int r.lint_warnings);
+        ("faults_ok", Bool r.faults_ok);
+        ("faults_detected", int r.faults_detected);
+        ("seconds", Num r.seconds);
+      ]
+  in
+  let check_json (label, ok_of) =
+    let failed =
+      List.filter_map
+        (fun r -> if ok_of r then None else Some (Str r.name))
+        rows
+    in
+    (label, Obj [ ("pass", Bool (failed = [])); ("failed", Arr failed) ])
+  in
+  Obj
+    [
+      ("schema", Str "cccs-verify/1");
+      ("ok", Bool ok);
+      ("workloads", Arr (List.map row_json rows));
+      ("checks", Obj (List.map check_json checks));
+    ]
 
 let () =
   let rows = List.map check_workload Workloads.Suite.all in
   let total = List.length rows in
-  let summary label ok_of =
+  let summary (label, ok_of) =
     let failed = List.filter (fun r -> not (ok_of r)) rows in
-    Printf.printf "check %-22s %d/%d pass%s\n" label
+    Printf.fprintf out "check %-22s %d/%d pass%s\n" label
       (total - List.length failed)
       total
       (if failed = [] then ""
        else
          ": FAIL " ^ String.concat ", " (List.map (fun r -> r.name) failed))
   in
-  print_newline ();
-  summary "differential-memory" (fun r -> r.mem_ok);
-  summary "differential-trace" (fun r -> r.trace_ok);
-  summary "scheme-decode-back" (fun r -> r.schemes_ok);
-  summary "static-lint" (fun r -> r.lint_ok);
-  summary "fault-protection" (fun r -> r.faults_ok);
+  Printf.fprintf out "\n";
+  List.iter summary checks;
   let warn = List.fold_left (fun acc r -> acc + r.lint_warnings) 0 rows in
-  if warn > 0 then Printf.printf "static-lint warnings: %d (non-fatal)\n" warn;
+  if warn > 0 then
+    Printf.fprintf out "static-lint warnings: %d (non-fatal)\n" warn;
   let ok =
     List.for_all
       (fun r ->
         r.mem_ok && r.trace_ok && r.schemes_ok && r.lint_ok && r.faults_ok)
       rows
   in
-  if ok then print_endline "verify_all: all workloads verified"
+  if json_mode then
+    print_endline (Cccs_obs.Json.to_string (json_report rows ok));
+  if ok then Printf.fprintf out "verify_all: all workloads verified\n"
   else begin
-    print_endline "verify_all: FAILURES";
+    Printf.fprintf out "verify_all: FAILURES\n";
     exit 1
   end

@@ -97,22 +97,44 @@ let block_of_bit offsets sizes k =
 (* ROM surface: one independent single-bit flip per trial, classified by
    the checked decoder of the block the bit lands in. *)
 
-let rom_campaign rng ~flips (sc : Encoding.Scheme.t) reference =
+let rom_campaign ?obs rng ~flips (sc : Encoding.Scheme.t) reference =
   let nbits = 8 * String.length sc.Encoding.Scheme.image in
   let detected = ref 0 and silent = ref 0 and benign = ref 0 in
-  for _ = 1 to flips do
+  (* Campaign streams use the trial index as the visit stamp and cycle 0:
+     ROM trials have no timeline position. *)
+  let emit_ev trial block ev =
+    match obs with
+    | Some s ->
+        Cccs_obs.Sink.emit s
+          (Cccs_obs.Event.Fetch { cycle = 0; visit = trial; block; ev = ev () })
+    | None -> ()
+  in
+  for trial = 1 to flips do
     let k = Rng.int rng nbits in
     match
       block_of_bit sc.Encoding.Scheme.block_offset_bits
         sc.Encoding.Scheme.block_bits k
     with
-    | None -> incr benign
+    | None ->
+        incr benign;
+        emit_ev trial (-1) (fun () ->
+            Cccs_obs.Event.Fault_benign { surface = "rom" })
     | Some b -> (
+        emit_ev trial b (fun () -> Cccs_obs.Event.Fault_inject { bit = k });
         let img = Bits.flip_bits sc.Encoding.Scheme.image [ k ] in
         match Encoding.Scheme.decode_block_checked ~image:img sc b with
-        | Error _ -> incr detected
-        | Ok ops when ops_equal ops (reference b) -> incr benign
-        | Ok _ -> incr silent)
+        | Error _ ->
+            incr detected;
+            emit_ev trial b (fun () ->
+                Cccs_obs.Event.Fault_detect { surface = "rom" })
+        | Ok ops when ops_equal ops (reference b) ->
+            incr benign;
+            emit_ev trial b (fun () ->
+                Cccs_obs.Event.Fault_benign { surface = "rom" })
+        | Ok _ ->
+            incr silent;
+            emit_ev trial b (fun () ->
+                Cccs_obs.Event.Fault_silent { surface = "rom" }))
   done;
   { zero_counts with injected = flips; detected = !detected; silent = !silent;
     benign = !benign }
@@ -178,14 +200,22 @@ let table_flip_protected rng ~guard_bits ~poly book =
     let guard' = guard lxor (1 lsl (guard_bits - 1 - (k - data_bits))) in
     if guard' <> guard then `Detected else `Silent
 
-let table_campaign rng ~flips ~(protection : Encoding.Scheme.protection)
+let table_campaign ?obs rng ~flips ~(protection : Encoding.Scheme.protection)
     (sc : Encoding.Scheme.t) =
   let books = List.map snd sc.Encoding.Scheme.books in
   if books = [] then zero_counts
   else begin
     let books = Array.of_list books in
     let detected = ref 0 and silent = ref 0 in
-    for _ = 1 to flips do
+    let emit_ev trial ev =
+      match obs with
+      | Some s ->
+          Cccs_obs.Sink.emit s
+            (Cccs_obs.Event.Fetch
+               { cycle = 0; visit = trial; block = -1; ev = ev () })
+      | None -> ()
+    in
+    for trial = 1 to flips do
       let book = books.(Rng.int rng (Array.length books)) in
       let verdict =
         match protection with
@@ -197,8 +227,14 @@ let table_campaign rng ~flips ~(protection : Encoding.Scheme.protection)
               book
       in
       match verdict with
-      | `Detected -> incr detected
-      | `Silent -> incr silent
+      | `Detected ->
+          incr detected;
+          emit_ev trial (fun () ->
+              Cccs_obs.Event.Fault_detect { surface = "table" })
+      | `Silent ->
+          incr silent;
+          emit_ev trial (fun () ->
+              Cccs_obs.Event.Fault_silent { surface = "table" })
     done;
     { zero_counts with injected = flips; detected = !detected;
       silent = !silent }
@@ -232,8 +268,8 @@ let model_of_scheme name =
   | "tailored" -> (Fetch.Config.Tailored, Fetch.Config.default)
   | _ -> (Fetch.Config.Compressed, Fetch.Config.default)
 
-let cache_campaign rng ~flips ~retries (name, (sc : Encoding.Scheme.t)) prog
-    trace =
+let cache_campaign ?obs rng ~flips ~retries (name, (sc : Encoding.Scheme.t))
+    prog trace =
   let model, cfg = model_of_scheme name in
   let att = Encoding.Att.build sc ~line_bits:cfg.Fetch.Config.line_bits prog in
   let reference b = Tepic.Program.block_ops (Tepic.Program.block prog b) in
@@ -247,8 +283,10 @@ let cache_campaign rng ~flips ~retries (name, (sc : Encoding.Scheme.t)) prog
       max_retries = retries;
     }
   in
+  (* Only the faulty replay is observed; streaming the clean run too would
+     double-count every fetch event in a campaign recorder. *)
   let clean = Fetch.Sim.run ~model ~cfg ~scheme:sc ~att trace in
-  let faulty = Fetch.Sim.run ~faults ~model ~cfg ~scheme:sc ~att trace in
+  let faulty = Fetch.Sim.run ~faults ?obs ~model ~cfg ~scheme:sc ~att trace in
   let cache =
     {
       injected = faulty.Fetch.Sim.faults_injected;
@@ -278,7 +316,7 @@ let campaign_schemes (s : Experiments.schemes) =
       s.Experiments.streams
   @ [ ("full", s.Experiments.full); ("tailored", s.Experiments.tailored) ]
 
-let run spec =
+let run ?obs spec =
   let entry =
     match Workloads.Suite.find spec.bench with
     | Some e -> e
@@ -295,12 +333,16 @@ let run spec =
       (fun (name, sc) ->
         let rng = Rng.create (scheme_seed spec.seed name) in
         let sc_p = Encoding.Scheme.protect spec.protection sc in
-        let rom = rom_campaign rng ~flips:spec.flips sc_p reference in
+        Cccs_obs.Sink.timed ?obs ~stage:Cccs_obs.Event.Simulate
+          ~label:("faults:" ^ name)
+        @@ fun () ->
+        let rom = rom_campaign ?obs rng ~flips:spec.flips sc_p reference in
         let table =
-          table_campaign rng ~flips:spec.flips ~protection:spec.protection sc_p
+          table_campaign ?obs rng ~flips:spec.flips
+            ~protection:spec.protection sc_p
         in
         let cache, clean_cycles, faulty_cycles =
-          cache_campaign rng ~flips:spec.flips ~retries:spec.retries
+          cache_campaign ?obs rng ~flips:spec.flips ~retries:spec.retries
             (name, sc_p) prog trace
         in
         {

@@ -67,9 +67,15 @@ type spec = {
 
 type t = { spec : spec; rows : scheme_report list }
 
-(** [run spec] — campaign over base, byte, stream, stream_1, full and
-    tailored.  Raises [Failure] on an unknown bench name. *)
-val run : spec -> t
+(** [run ?obs spec] — campaign over base, byte, stream, stream_1, full and
+    tailored.  Raises [Failure] on an unknown bench name.
+
+    [obs] receives one wall-clock span per scheme campaign plus the
+    per-trial injection/verdict stream: [Fault_inject] / [Fault_detect] /
+    [Fault_silent] / [Fault_benign] events tagged with the surface ("rom",
+    "table") and, through {!Fetch.Sim}, the full recovery episodes of the
+    cache surface. *)
+val run : ?obs:Cccs_obs.Sink.t -> spec -> t
 
 (** [silent_total row] — silent corruptions summed over all three
     surfaces (the CI gate checks this is 0 in protected mode). *)

@@ -7,9 +7,15 @@ type compiled = {
   max_live : (Tepic.Reg.cls * int) list;
 }
 
-let compile ?(speculate = true) ?(profile_guided = false)
+let log_src = Logs.Src.create "cccs.pipeline" ~doc:"Compiler driver stages"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let compile ?obs ?(speculate = true) ?(profile_guided = false)
     (w : Workloads.Gen.result) =
   let alloc =
+    Cccs_obs.Sink.timed ?obs ~stage:Cccs_obs.Event.Regalloc ~label:"regalloc"
+    @@ fun () ->
     Vliw_compiler.Regalloc.allocate ~allowed:Workloads.Gen.window
       ~group_of_block:w.Workloads.Gen.group_of_block
       ~precolored:w.Workloads.Gen.precolored
@@ -37,10 +43,42 @@ let compile ?(speculate = true) ?(profile_guided = false)
     end
   in
   let sched =
+    Cccs_obs.Sink.timed ?obs ~stage:Cccs_obs.Event.Schedule ~label:"schedule"
+    @@ fun () ->
     Vliw_compiler.Schedule.run ~speculate ?edge_profile
       alloc.Vliw_compiler.Regalloc.cfg
   in
-  let program = Vliw_compiler.Layout.build sched in
+  let program =
+    Cccs_obs.Sink.timed ?obs ~stage:Cccs_obs.Event.Encode ~label:"layout"
+    @@ fun () -> Vliw_compiler.Layout.build sched
+  in
+  (* Per-stage gauges: static op/MOP counts out of layout, schedule and
+     allocator quality figures.  The baseline bit size is only computed
+     when someone is listening — it encodes the whole program. *)
+  (match obs with
+  | Some _ ->
+      Cccs_obs.Sink.gauge ?obs "regalloc.spill_slots"
+        (float_of_int alloc.Vliw_compiler.Regalloc.spill_slots);
+      Cccs_obs.Sink.gauge ?obs "schedule.ilp" (Vliw_compiler.Schedule.ilp sched);
+      Cccs_obs.Sink.gauge ?obs "schedule.hoisted"
+        (float_of_int sched.Vliw_compiler.Schedule.hoisted);
+      Cccs_obs.Sink.gauge ?obs "layout.blocks"
+        (float_of_int (Tepic.Program.num_blocks program));
+      Cccs_obs.Sink.gauge ?obs "layout.static_ops"
+        (float_of_int (Tepic.Program.num_ops program));
+      Cccs_obs.Sink.gauge ?obs "layout.static_mops"
+        (float_of_int (Tepic.Program.num_mops program));
+      Cccs_obs.Sink.gauge ?obs "layout.baseline_bits"
+        (float_of_int (8 * String.length (Tepic.Program.baseline_image program)))
+  | None -> ());
+  Log.debug (fun m ->
+      m "compiled %s: blocks=%d ops=%d ilp=%.2f hoisted=%d spills=%d"
+        program.Tepic.Program.name
+        (Tepic.Program.num_blocks program)
+        (Tepic.Program.num_ops program)
+        (Vliw_compiler.Schedule.ilp sched)
+        sched.Vliw_compiler.Schedule.hoisted
+        alloc.Vliw_compiler.Regalloc.spill_slots);
   {
     program;
     alloc_cfg = alloc.Vliw_compiler.Regalloc.cfg;

@@ -20,18 +20,21 @@ let calibrate p =
   in
   { p with Workloads.Profile.outer_trips = trips }
 
-let load (e : Workloads.Suite.entry) =
+let load ?obs (e : Workloads.Suite.entry) =
   match Hashtbl.find_opt cache e.Workloads.Suite.name with
   | Some r -> r
   | None ->
       let w =
+        Cccs_obs.Sink.timed ?obs ~stage:Cccs_obs.Event.Lower
+          ~label:("lower:" ^ e.Workloads.Suite.name)
+        @@ fun () ->
         match e.Workloads.Suite.profile with
         | Some p -> Workloads.Gen.generate (calibrate p)
         | None -> e.Workloads.Suite.load ()
       in
-      let compiled = Pipeline.compile w in
+      let compiled = Pipeline.compile ?obs w in
       let exec =
-        Emulator.Exec.run ~max_blocks:3_000_000 compiled.Pipeline.program
+        Emulator.Exec.run ~max_blocks:3_000_000 ?obs compiled.Pipeline.program
       in
       let r = { name = e.Workloads.Suite.name; kind = e.Workloads.Suite.kind;
                 compiled; exec }

@@ -17,8 +17,10 @@ type run = {
   exec : Emulator.Exec.result;
 }
 
-(** [load entry] — generate (calibrated), compile, execute.  Memoized. *)
-val load : Workloads.Suite.entry -> run
+(** [load ?obs entry] — generate (calibrated), compile, execute.
+    Memoized: [obs] only sees stage spans and gauges on the first,
+    uncached load of a workload. *)
+val load : ?obs:Cccs_obs.Sink.t -> Workloads.Suite.entry -> run
 
 (** [load_spec ()] — the paper's eight-benchmark evaluation set. *)
 val load_spec : unit -> run list

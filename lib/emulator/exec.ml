@@ -6,7 +6,10 @@ type result = {
   stop : stop_reason;
 }
 
-let run ?(max_blocks = 2_000_000) ?(mem_size = 65536) program =
+let run ?(max_blocks = 2_000_000) ?(mem_size = 65536) ?obs program =
+  Cccs_obs.Sink.timed ?obs ~stage:Cccs_obs.Event.Simulate
+    ~label:("execute:" ^ program.Tepic.Program.name)
+  @@ fun () ->
   let machine = Machine.create ~mem_size () in
   let trace = Trace.create () in
   let n = Tepic.Program.num_blocks program in
@@ -40,4 +43,9 @@ let run ?(max_blocks = 2_000_000) ?(mem_size = 65536) program =
     end
   done;
   let stop = match !stop with Some s -> s | None -> assert false in
+  Cccs_obs.Sink.gauge ?obs "exec.block_visits"
+    (float_of_int (Trace.length trace));
+  Cccs_obs.Sink.gauge ?obs "exec.dyn_ops" (float_of_int (Trace.total_ops trace));
+  Cccs_obs.Sink.gauge ?obs "exec.dyn_mops"
+    (float_of_int (Trace.total_mops trace));
   { trace; machine; stop }

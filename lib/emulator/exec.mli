@@ -13,7 +13,14 @@ type result = {
   stop : stop_reason;
 }
 
-(** [run ?max_blocks ?mem_size program] executes from the entry block.
+(** [run ?max_blocks ?mem_size ?obs program] executes from the entry block.
     [max_blocks] (default 2,000,000) bounds the number of block visits;
-    [mem_size] (default 65536 words) sizes data memory. *)
-val run : ?max_blocks:int -> ?mem_size:int -> Tepic.Program.t -> result
+    [mem_size] (default 65536 words) sizes data memory.  [obs] receives a
+    wall-clock span over the whole execution plus [exec.*] gauges (dynamic
+    ops, MOPs, block visits). *)
+val run :
+  ?max_blocks:int ->
+  ?mem_size:int ->
+  ?obs:Cccs_obs.Sink.t ->
+  Tepic.Program.t ->
+  result

@@ -41,7 +41,14 @@ let model_name = function
 let ops_equal a b =
   try List.for_all2 Tepic.Op.equal a b with Invalid_argument _ -> false
 
-let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
+(* Instrumentation sites below all follow the same shape:
+
+     match obs with Some s -> Sink.emit s (Event.Fetch {...}) | None -> ()
+
+   so that the event value is only ever constructed when a sink is
+   installed — a plain run allocates nothing and the results are
+   bit-identical with and without [?obs] (the sink never feeds back). *)
+let run ?faults ?obs ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
   let cache = Line_cache.create cfg in
   let atb = Atb.create cfg ~num_blocks:(Array.length att.Encoding.Att.entries) in
   let l0 = L0_buffer.create cfg in
@@ -84,6 +91,9 @@ let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
             scheme.Encoding.Scheme.block_offset_bits
   in
   let forget_flips lines = List.iter (Hashtbl.remove line_flips) lines in
+  let line_beats =
+    (cfg.Config.line_bits + cfg.Config.bus_bits - 1) / cfg.Config.bus_bits
+  in
   Emulator.Trace.iter
     (fun b ->
       let e = att.Encoding.Att.entries.(b) in
@@ -103,6 +113,13 @@ let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
             let line = bit / cfg.Config.line_bits in
             if Line_cache.line_resident cache line then begin
               incr injected;
+              (match obs with
+              | Some s ->
+                  Cccs_obs.Sink.emit s
+                    (Cccs_obs.Event.Fetch
+                       { cycle = !cycles; visit = !visit; block = b;
+                         ev = Cccs_obs.Event.Fault_inject { bit } })
+              | None -> ());
               let prior =
                 Option.value ~default:[] (Hashtbl.find_opt line_flips line)
               in
@@ -116,7 +133,16 @@ let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
         | None -> true
         | Some p ->
             let ok = !predicted_next = b in
-            if not ok then incr mispredicts;
+            if not ok then begin
+              incr mispredicts;
+              match obs with
+              | Some s ->
+                  Cccs_obs.Sink.emit s
+                    (Cccs_obs.Event.Fetch
+                       { cycle = !cycles; visit = !visit; block = b;
+                         ev = Cccs_obs.Event.Mispredict })
+              | None -> ()
+            end;
             Atb.update atb p ~next:b;
             ok
       in
@@ -124,7 +150,22 @@ let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
       let atb_hit = Atb.lookup atb b in
       if not atb_hit then begin
         cycles := !cycles + cfg.Config.atb_miss_penalty;
-        ignore (Bus.fetch_extra_bits bus att.Encoding.Att.entry_bits)
+        let flips = Bus.fetch_extra_bits bus att.Encoding.Att.entry_bits in
+        match obs with
+        | Some s ->
+            let bw = cfg.Config.bus_bits in
+            let beats = (max 0 att.Encoding.Att.entry_bits + bw - 1) / bw in
+            Cccs_obs.Sink.emit s
+              (Cccs_obs.Event.Fetch
+                 { cycle = !cycles; visit = !visit; block = b;
+                   ev =
+                     Cccs_obs.Event.Atb_miss
+                       { penalty = cfg.Config.atb_miss_penalty } });
+            Cccs_obs.Sink.emit s
+              (Cccs_obs.Event.Fetch
+                 { cycle = !cycles; visit = !visit; block = b;
+                   ev = Cccs_obs.Event.Bus_beat { beats; flips } })
+        | None -> ignore flips
       end;
       (* 3. Cache and buffer state. *)
       let buffer_hit = compressed && L0_buffer.hit l0 b in
@@ -139,12 +180,50 @@ let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
         (* Memory traffic for the missing lines, then fill.  A refill
            overwrites any pending upset in those lines. *)
         let missing = Line_cache.fetched_lines cache ~offset_bits ~size_bits in
-        List.iter (fun line -> ignore (Bus.fetch_line bus line)) missing;
+        (match obs with
+        | Some s ->
+            Cccs_obs.Sink.emit s
+              (Cccs_obs.Event.Fetch
+                 { cycle = !cycles; visit = !visit; block = b;
+                   ev =
+                     (if cache_hit then Cccs_obs.Event.L1_hit
+                      else
+                        Cccs_obs.Event.L1_miss
+                          { lines = List.length missing }) })
+        | None -> ());
+        List.iter
+          (fun line ->
+            let flips = Bus.fetch_line bus line in
+            match obs with
+            | Some s ->
+                Cccs_obs.Sink.emit s
+                  (Cccs_obs.Event.Fetch
+                     { cycle = !cycles; visit = !visit; block = b;
+                       ev = Cccs_obs.Event.Bus_beat { beats = line_beats; flips } })
+            | None -> ignore flips)
+          missing;
         forget_flips missing;
         lines_fetched :=
           !lines_fetched + Line_cache.touch_block cache ~offset_bits ~size_bits;
-        if compressed then L0_buffer.insert l0 b ~ops:e.Encoding.Att.ops
-      end;
+        if compressed then begin
+          L0_buffer.insert l0 b ~ops:e.Encoding.Att.ops;
+          match obs with
+          | Some s ->
+              Cccs_obs.Sink.emit s
+                (Cccs_obs.Event.Fetch
+                   { cycle = !cycles; visit = !visit; block = b;
+                     ev = Cccs_obs.Event.L0_fill { ops = e.Encoding.Att.ops } })
+          | None -> ()
+        end
+      end
+      else
+        (match obs with
+        | Some s ->
+            Cccs_obs.Sink.emit s
+              (Cccs_obs.Event.Fetch
+                 { cycle = !cycles; visit = !visit; block = b;
+                   ev = Cccs_obs.Event.L0_hit })
+        | None -> ());
       (* 3b. Fault delivery check.  The L0 buffer holds already-decompressed
          MOPs, so a buffer hit bypasses both fault surfaces; every other
          delivery re-reads cached code bits and runs the checked decoder
@@ -174,11 +253,27 @@ let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
               if !flips = [] then f.rom_image
               else Bits.flip_bits f.rom_image !flips
             in
+            (* [emit_fault] receives a closed constructor function so the
+               event is only built under the [Some] branch. *)
+            let emit_fault mk =
+              match obs with
+              | Some s ->
+                  Cccs_obs.Sink.emit s
+                    (Cccs_obs.Event.Fetch
+                       { cycle = !cycles; visit = !visit; block = b;
+                         ev = mk () })
+              | None -> ()
+            in
             match f.decode_check img b with
             | Ok ops when ops_equal ops (f.reference b) -> ()
-            | Ok _ -> incr silent
+            | Ok _ ->
+                incr silent;
+                emit_fault (fun () ->
+                    Cccs_obs.Event.Fault_silent { surface = "cache" })
             | Error _ ->
                 incr detected;
+                emit_fault (fun () ->
+                    Cccs_obs.Event.Fault_detect { surface = "cache" });
                 (* Recovery: invalidate the block's lines and refetch from
                    ROM at the full miss penalty; after [max_retries] failed
                    attempts, raise a machine check and deliver nothing. *)
@@ -197,12 +292,25 @@ let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
                   in
                   recovery := !recovery + pen;
                   cycles := !cycles + pen;
+                  (match obs with
+                  | Some s ->
+                      Cccs_obs.Sink.emit s
+                        (Cccs_obs.Event.Fetch
+                           { cycle = !cycles; visit = !visit; block = b;
+                             ev = Cccs_obs.Event.Fault_recover { cycles = pen } })
+                  | None -> ());
                   match f.decode_check f.rom_image b with
                   | Ok ops when ops_equal ops (f.reference b) -> incr corrected
-                  | Ok _ -> incr silent
+                  | Ok _ ->
+                      incr silent;
+                      emit_fault (fun () ->
+                          Cccs_obs.Event.Fault_silent { surface = "cache" })
                   | Error _ ->
                       if k + 1 < f.max_retries then retry (k + 1)
-                      else incr traps
+                      else begin
+                        incr traps;
+                        emit_fault (fun () -> Cccs_obs.Event.Machine_check)
+                      end
                 in
                 retry 0
           end
@@ -212,6 +320,22 @@ let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
         Config.penalty model ~predicted ~cache_hit ~buffer_hit
           ~lines:e.Encoding.Att.lines
       in
+      (match obs with
+      | Some s ->
+          (* Stamped at delivery start so the slice covers the stall. *)
+          if pen > 1 then
+            Cccs_obs.Sink.emit s
+              (Cccs_obs.Event.Fetch
+                 { cycle = !cycles; visit = !visit; block = b;
+                   ev = Cccs_obs.Event.Decode_stall { cycles = pen - 1 } });
+          Cccs_obs.Sink.emit s
+            (Cccs_obs.Event.Fetch
+               { cycle = !cycles; visit = !visit; block = b;
+                 ev =
+                   Cccs_obs.Event.Deliver
+                     { penalty = pen; ops = e.Encoding.Att.ops;
+                       mops = e.Encoding.Att.mops } })
+      | None -> ());
       cycles := !cycles + pen + (e.Encoding.Att.mops - 1);
       ops := !ops + e.Encoding.Att.ops;
       mops := !mops + e.Encoding.Att.mops;
@@ -225,7 +349,17 @@ let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
         let missing =
           Line_cache.fetched_lines cache ~offset_bits:p_off ~size_bits:p_sz
         in
-        List.iter (fun line -> ignore (Bus.fetch_line bus line)) missing;
+        List.iter
+          (fun line ->
+            let flips = Bus.fetch_line bus line in
+            match obs with
+            | Some s ->
+                Cccs_obs.Sink.emit s
+                  (Cccs_obs.Event.Fetch
+                     { cycle = !cycles; visit = !visit; block = p;
+                       ev = Cccs_obs.Event.Bus_beat { beats = line_beats; flips } })
+            | None -> ignore flips)
+          missing;
         forget_flips missing;
         lines_fetched :=
           !lines_fetched
@@ -259,14 +393,26 @@ let run ?faults ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
     recovery_cycles = !recovery;
   }
 
-let run_ideal ~(att : Encoding.Att.t) trace =
+let run_ideal ?obs ~(att : Encoding.Att.t) trace =
   let cycles = ref 0 and ops = ref 0 and mops = ref 0 in
+  let visit = ref 0 in
   Emulator.Trace.iter
     (fun b ->
       let e = att.Encoding.Att.entries.(b) in
+      (match obs with
+      | Some s ->
+          Cccs_obs.Sink.emit s
+            (Cccs_obs.Event.Fetch
+               { cycle = !cycles; visit = !visit; block = b;
+                 ev =
+                   Cccs_obs.Event.Deliver
+                     { penalty = 1; ops = e.Encoding.Att.ops;
+                       mops = e.Encoding.Att.mops } })
+      | None -> ());
       cycles := !cycles + e.Encoding.Att.mops;
       ops := !ops + e.Encoding.Att.ops;
-      mops := !mops + e.Encoding.Att.mops)
+      mops := !mops + e.Encoding.Att.mops;
+      incr visit)
     trace;
   {
     model = "ideal";
@@ -292,6 +438,21 @@ let run_ideal ~(att : Encoding.Att.t) trace =
     machine_checks = 0;
     recovery_cycles = 0;
   }
+
+(* Full-record CSV: the one machine-readable path shared by the figure
+   exports and the fault campaigns (`cccs export`, section "sim"). *)
+let csv_header =
+  "model,cycles,ops_delivered,mops_delivered,block_visits,ipc,l1_hits,\
+   l1_misses,l0_hits,l0_misses,mispredicts,atb_misses,lines_fetched,\
+   bus_flips,bus_beats,faults_injected,faults_detected,faults_corrected,\
+   silent_corruptions,machine_checks,recovery_cycles"
+
+let csv_row r =
+  Printf.sprintf "%s,%d,%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d"
+    r.model r.cycles r.ops_delivered r.mops_delivered r.block_visits r.ipc
+    r.l1_hits r.l1_misses r.l0_hits r.l0_misses r.mispredicts r.atb_misses
+    r.lines_fetched r.bus_flips r.bus_beats r.faults_injected r.faults_detected
+    r.faults_corrected r.silent_corruptions r.machine_checks r.recovery_cycles
 
 let pp ppf r =
   Format.fprintf ppf

@@ -69,12 +69,22 @@ type fault_plan = {
   max_retries : int;
 }
 
-(** [run ?faults ~model ~cfg ~scheme ~att trace] — replay [trace].  [scheme]
-    must be the layout the model caches ([Baseline] image for [Base],
-    tailored image for [Tailored], a Huffman image for [Compressed]); [att]
-    must be built from the same scheme with [cfg]'s line size. *)
+(** [run ?faults ?obs ~model ~cfg ~scheme ~att trace] — replay [trace].
+    [scheme] must be the layout the model caches ([Baseline] image for
+    [Base], tailored image for [Tailored], a Huffman image for
+    [Compressed]); [att] must be built from the same scheme with [cfg]'s
+    line size.
+
+    [obs], when given, receives a cycle-stamped {!Cccs_obs.Event.Fetch}
+    stream: L1 hit/miss, L0 fill/hit, ATB miss, mispredict, decode stall,
+    per-line bus beats, block delivery, and the fault
+    inject/detect/recover/machine-check episodes of a campaign.  The stream
+    is deterministic (two identical runs emit byte-identical lines) and
+    purely additive: results are bit-identical with and without a sink, and
+    an uninstrumented run allocates no event values. *)
 val run :
   ?faults:fault_plan ->
+  ?obs:Cccs_obs.Sink.t ->
   model:Config.model ->
   cfg:Config.t ->
   scheme:Encoding.Scheme.t ->
@@ -82,7 +92,15 @@ val run :
   Emulator.Trace.t ->
   result
 
-(** [run_ideal ~att trace] — the perfect-fetch upper bound. *)
-val run_ideal : att:Encoding.Att.t -> Emulator.Trace.t -> result
+(** [run_ideal ?obs ~att trace] — the perfect-fetch upper bound.  [obs]
+    receives one [Deliver] event per block visit. *)
+val run_ideal :
+  ?obs:Cccs_obs.Sink.t -> att:Encoding.Att.t -> Emulator.Trace.t -> result
 
 val pp : Format.formatter -> result -> unit
+
+(** Full-record CSV row for [result] — the single machine-readable path
+    shared by the figure exports and fault campaigns ([cccs export]). *)
+val csv_header : string
+
+val csv_row : result -> string

@@ -1,0 +1,101 @@
+(* Typed telemetry events.
+
+   Two families share one stream: cycle-stamped fetch events emitted by the
+   simulators (every event carries the modeled cycle, the visit index in the
+   block trace and the block id), and wall-clock span events emitted around
+   pipeline stages.  Gauges carry scalar facts that have no timeline
+   position (static op counts, compression ratios, ...).
+
+   The serialized line format ([to_line]) is part of the contract: two runs
+   of the same simulation must produce byte-identical lines, so nothing
+   non-deterministic (addresses, wall-clock time) may appear in fetch or
+   gauge lines.  Span lines carry wall-clock timings and are exempt. *)
+
+type stage = Lower | Schedule | Regalloc | Encode | Decoder_gen | Simulate
+
+let stage_name = function
+  | Lower -> "lower"
+  | Schedule -> "schedule"
+  | Regalloc -> "regalloc"
+  | Encode -> "encode"
+  | Decoder_gen -> "decoder_gen"
+  | Simulate -> "simulate"
+
+(* One constructor per observable micro-event of the fetch pipeline.
+   Payloads are plain ints so that constructing them costs at most one
+   small allocation, and only on the guarded (sink-installed) path. *)
+type fetch =
+  | L1_hit
+  | L1_miss of { lines : int }  (* lines that must be (re)fetched *)
+  | L0_hit
+  | L0_fill of { ops : int }
+  | Atb_miss of { penalty : int }
+  | Mispredict
+  | Decode_stall of { cycles : int }  (* initiation penalty beyond 1 cycle *)
+  | Bus_beat of { beats : int; flips : int }
+  | Deliver of { penalty : int; ops : int; mops : int }
+  | Fault_inject of { bit : int }
+  | Fault_detect of { surface : string }
+  | Fault_recover of { cycles : int }
+  | Fault_silent of { surface : string }
+  | Fault_benign of { surface : string }
+  | Machine_check
+
+let fetch_name = function
+  | L1_hit -> "l1_hit"
+  | L1_miss _ -> "l1_miss"
+  | L0_hit -> "l0_hit"
+  | L0_fill _ -> "l0_fill"
+  | Atb_miss _ -> "atb_miss"
+  | Mispredict -> "mispredict"
+  | Decode_stall _ -> "decode_stall"
+  | Bus_beat _ -> "bus_beat"
+  | Deliver _ -> "deliver"
+  | Fault_inject _ -> "fault_inject"
+  | Fault_detect _ -> "fault_detect"
+  | Fault_recover _ -> "fault_recover"
+  | Fault_silent _ -> "fault_silent"
+  | Fault_benign _ -> "fault_benign"
+  | Machine_check -> "machine_check"
+
+(* Payload fields as (key, value) pairs, used by every exporter. *)
+let fetch_args = function
+  | L1_hit | L0_hit | Mispredict | Machine_check -> []
+  | L1_miss { lines } -> [ ("lines", lines) ]
+  | L0_fill { ops } -> [ ("ops", ops) ]
+  | Atb_miss { penalty } -> [ ("penalty", penalty) ]
+  | Decode_stall { cycles } -> [ ("cycles", cycles) ]
+  | Bus_beat { beats; flips } -> [ ("beats", beats); ("flips", flips) ]
+  | Deliver { penalty; ops; mops } ->
+      [ ("penalty", penalty); ("ops", ops); ("mops", mops) ]
+  | Fault_inject { bit } -> [ ("bit", bit) ]
+  | Fault_recover { cycles } -> [ ("cycles", cycles) ]
+  | Fault_detect _ | Fault_silent _ | Fault_benign _ -> []
+
+let fetch_surface = function
+  | Fault_detect { surface } | Fault_silent { surface }
+  | Fault_benign { surface } ->
+      Some surface
+  | _ -> None
+
+type t =
+  | Fetch of { cycle : int; visit : int; block : int; ev : fetch }
+  | Span of { stage : stage; label : string; start_us : float; dur_us : float }
+  | Gauge of { name : string; value : float }
+
+let to_line = function
+  | Fetch { cycle; visit; block; ev } ->
+      let b = Buffer.create 48 in
+      Buffer.add_string b
+        (Printf.sprintf "F %d %d %d %s" cycle visit block (fetch_name ev));
+      (match fetch_surface ev with
+      | Some s -> Buffer.add_string b (Printf.sprintf " surface=%s" s)
+      | None -> ());
+      List.iter
+        (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%d" k v))
+        (fetch_args ev);
+      Buffer.contents b
+  | Span { stage; label; start_us; dur_us } ->
+      Printf.sprintf "S %s %s %.1f %.1f" (stage_name stage) label start_us
+        dur_us
+  | Gauge { name; value } -> Printf.sprintf "G %s %.6g" name value

@@ -1,0 +1,26 @@
+(** Minimal JSON tree, compact printer and strict parser (RFC 8259 minus
+    surrogate-pair recombination).  Exists because the repository takes no
+    external dependencies and the telemetry exports need both directions:
+    a writer for snapshots and a parser so tests and CI can check that
+    everything emitted round-trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+
+(** Compact (no whitespace) serialization.  Non-finite floats are clamped
+    to [0] — JSON has no NaN/infinity. *)
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+
+(** [member key j] — field lookup on an [Obj], [None] otherwise. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option

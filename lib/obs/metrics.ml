@@ -1,0 +1,72 @@
+(* A small metrics registry: named counters, gauges and histograms, kept in
+   registration order so snapshots (and therefore every export) are
+   schema-stable across runs. *)
+
+type item =
+  | Counter of int ref
+  | Gauge of float ref
+  | Hist of Histogram.t
+
+type t = {
+  tbl : (string, item) Hashtbl.t;
+  mutable order : string list;  (* reverse registration order *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let find_or_add t name mk =
+  match Hashtbl.find_opt t.tbl name with
+  | Some it -> it
+  | None ->
+      let it = mk () in
+      Hashtbl.replace t.tbl name it;
+      t.order <- name :: t.order;
+      it
+
+let counter t name =
+  match find_or_add t name (fun () -> Counter (ref 0)) with
+  | Counter r -> r
+  | _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
+
+let incr ?(by = 1) t name =
+  let r = counter t name in
+  r := !r + by
+
+let gauge t name =
+  match find_or_add t name (fun () -> Gauge (ref 0.)) with
+  | Gauge r -> r
+  | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
+
+let set_gauge t name v = gauge t name := v
+
+let histogram t name =
+  match find_or_add t name (fun () -> Hist (Histogram.create ())) with
+  | Hist h -> h
+  | _ ->
+      invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
+
+let observe t name v = Histogram.observe (histogram t name) v
+
+(* Snapshot in registration order. *)
+type snapshot_item =
+  | Snap_counter of int
+  | Snap_gauge of float
+  | Snap_hist of Histogram.t
+
+let snapshot t =
+  List.rev_map
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | Counter r -> (name, Snap_counter !r)
+      | Gauge r -> (name, Snap_gauge !r)
+      | Hist h -> (name, Snap_hist h))
+    t.order
+
+let pp ppf t =
+  List.iter
+    (fun (name, it) ->
+      match it with
+      | Snap_counter v -> Format.fprintf ppf "%-32s %d@." name v
+      | Snap_gauge v -> Format.fprintf ppf "%-32s %.4f@." name v
+      | Snap_hist h -> Format.fprintf ppf "%-32s %a@." name Histogram.pp h)
+    (snapshot t)

@@ -1,0 +1,27 @@
+(** A named-metrics registry: counters, gauges and log-scale histograms,
+    kept in registration order so snapshots — and every export derived
+    from them — are schema-stable across runs. *)
+
+type t
+
+val create : unit -> t
+
+(** Handles are created on first use; re-using a name with a different
+    metric kind raises [Invalid_argument]. *)
+val counter : t -> string -> int ref
+
+val incr : ?by:int -> t -> string -> unit
+val gauge : t -> string -> float ref
+val set_gauge : t -> string -> float -> unit
+val histogram : t -> string -> Histogram.t
+val observe : t -> string -> int -> unit
+
+type snapshot_item =
+  | Snap_counter of int
+  | Snap_gauge of float
+  | Snap_hist of Histogram.t
+
+(** Registration order. *)
+val snapshot : t -> (string * snapshot_item) list
+
+val pp : Format.formatter -> t -> unit

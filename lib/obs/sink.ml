@@ -1,0 +1,40 @@
+(* A sink is the single entry point instrumented code talks to.  The
+   convention at every instrumentation site is
+
+     match obs with
+     | Some s -> Sink.emit s (Event.Fetch { ... })
+     | None -> ()
+
+   i.e. the event value is only constructed under the [Some] branch, so an
+   uninstrumented run ([?obs] left out) allocates nothing and pays one
+   pointer comparison per site. *)
+
+type t = { emit : Event.t -> unit }
+
+let make emit = { emit }
+let emit t e = t.emit e
+
+(* Fan one stream out to several consumers. *)
+let tee a b = { emit = (fun e -> a.emit e; b.emit e) }
+
+let null = { emit = ignore }
+
+(* Time [f] and emit a span around it.  Wall-clock spans use the processor
+   clock ([Sys.time]) so the library stays stdlib-only; spans are excluded
+   from the determinism contract (see Event). *)
+let timed ?obs ~stage ~label f =
+  match obs with
+  | None -> f ()
+  | Some s ->
+      let t0 = Sys.time () in
+      let r = f () in
+      let t1 = Sys.time () in
+      emit s
+        (Event.Span
+           { stage; label; start_us = t0 *. 1e6; dur_us = (t1 -. t0) *. 1e6 });
+      r
+
+let gauge ?obs name value =
+  match obs with
+  | None -> ()
+  | Some s -> emit s (Event.Gauge { name; value })

@@ -6,6 +6,10 @@ module VMap = Map.Make (struct
   let compare = Stdlib.compare
 end)
 
+let log_src = Logs.Src.create "cccs.regalloc" ~doc:"Linear-scan allocator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type result = {
   cfg : Cfg.t;
   spill_slots : int;
@@ -292,6 +296,14 @@ let allocate ~allowed ?(group_of_block = fun _ -> 0) ?(precolored = [])
                      (Tepic.Reg.cls_to_string v.Ir.vcls) v.Ir.vid))
           cfg
       in
+      Log.debug (fun m ->
+          m "converged after %d round(s): %d spill slot(s), peak live %s"
+            (round + 1) !spill_slots
+            (String.concat " "
+               (List.map
+                  (fun (c, p) ->
+                    Printf.sprintf "%s=%d" (Tepic.Reg.cls_to_string c) p)
+                  max_live)));
       { cfg; spill_slots = !spill_slots; max_live }
     end
     else begin

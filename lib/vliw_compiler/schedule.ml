@@ -1,5 +1,9 @@
 module VSet = Liveness.VSet
 
+let log_src = Logs.Src.create "cccs.schedule" ~doc:"Treegion scheduler"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type t = {
   cfg : Cfg.t;
   cycles : Ir.guarded list list array;
@@ -262,6 +266,8 @@ let run ?(speculate = true) ?edge_profile cfg =
           edges)
       regions
   end;
+  Log.debug (fun m ->
+      m "scheduled %d block(s), hoisted %d op(s) above branches" n !hoisted);
   let cycles = Array.map Array.to_list cycles in
   { cfg; cycles; hoisted = !hoisted }
 

@@ -15,4 +15,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("analysis", Test_analysis.suite);
       ("faults", Test_faults.suite);
+      ("obs", Test_obs.suite);
     ]
