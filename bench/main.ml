@@ -165,10 +165,42 @@ let bench_extensions =
                ~scheme:(Lazy.force base) ~att:(Lazy.force att) (trace ())));
     ]
 
+(* Translation validator: abstract decode + resync analysis, per
+   scheme × workload, so a validator slowdown shows up in BENCH_obs.json
+   like any other pipeline-stage regression. *)
+let bench_validate =
+  let tests_of run wl =
+    let s = lazy (Cccs.Experiments.schemes_of (Lazy.force run)) in
+    let prog =
+      lazy
+        (Lazy.force run).Cccs.Workload_run.compiled.Cccs.Pipeline.program
+    in
+    let check sc_of =
+      Staged.stage (fun () ->
+          let sl = Lazy.force s in
+          Cccs.Analysis.Image_check.check_scheme ~workload:wl
+            ~program:(Lazy.force prog)
+            ~tailored:sl.Cccs.Experiments.tailored_spec ~resync_blocks:2
+            (sc_of sl))
+    in
+    List.map
+      (fun (name, sc_of) -> Test.make ~name:(wl ^ ":" ^ name) (check sc_of))
+      [
+        ("base", fun (sl : Cccs.Experiments.schemes) -> sl.Cccs.Experiments.base);
+        ("byte", fun sl -> sl.Cccs.Experiments.byte);
+        ("stream", fun sl -> snd (List.hd sl.Cccs.Experiments.streams));
+        ("full", fun sl -> sl.Cccs.Experiments.full);
+        ("tailored", fun sl -> sl.Cccs.Experiments.tailored);
+        ("dict", fun sl -> sl.Cccs.Experiments.dict);
+      ]
+  in
+  Test.make_grouped ~name:"validate" ~fmt:"%s/%s"
+    (tests_of fixture "compress" @ tests_of kernel "fir")
+
 let all_tests =
   Test.make_grouped ~name:"cccs" ~fmt:"%s %s"
     [ bench_fig5; bench_fig7; bench_fig10; bench_fig13; bench_fig14;
-      bench_substrate; bench_extensions ]
+      bench_substrate; bench_extensions; bench_validate ]
 
 let run_benchmarks () =
   let ols =

@@ -279,6 +279,27 @@ let verify_cmd =
           semantics) and decode-check every scheme")
     Term.(const run $ setup_logs $ bench_arg)
 
+(* Shared JSON shape of one diagnostic (lint --json, validate --json). *)
+let diag_json (d : Cccs.Analysis.Diag.t) =
+  let open Cccs_obs.Json in
+  let opt f = function None -> Null | Some v -> f v in
+  Obj
+    [
+      ("code", Str d.Cccs.Analysis.Diag.code);
+      ( "severity",
+        Str
+          (Format.asprintf "%a" Cccs.Analysis.Diag.pp_severity
+             d.Cccs.Analysis.Diag.severity) );
+      ("workload", Str d.Cccs.Analysis.Diag.loc.Cccs.Analysis.Diag.workload);
+      ( "scheme",
+        opt (fun s -> Str s) d.Cccs.Analysis.Diag.loc.Cccs.Analysis.Diag.scheme
+      );
+      ("block", opt int d.Cccs.Analysis.Diag.loc.Cccs.Analysis.Diag.block);
+      ("inst", opt int d.Cccs.Analysis.Diag.loc.Cccs.Analysis.Diag.inst);
+      ("bit", opt int d.Cccs.Analysis.Diag.loc.Cccs.Analysis.Diag.bit);
+      ("message", Str d.Cccs.Analysis.Diag.message);
+    ]
+
 let lint_cmd =
   let bench_opt_arg =
     let doc = "Workload name (see `cccs list`).  Omit with $(b,--all)." in
@@ -296,7 +317,14 @@ let lint_cmd =
     let doc = "List the registered analysis passes and exit." in
     Arg.(value & flag & info [ "passes" ] ~doc)
   in
-  let run () bench all pass list_passes =
+  let json_arg =
+    let doc =
+      "Emit one machine-readable JSON report (schema $(b,cccs-lint/1)) on \
+       stdout; the human-readable diagnostics move to stderr."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run () bench all pass list_passes json =
     if list_passes then begin
       List.iter
         (fun (name, doc) -> Printf.printf "%-16s %s\n" name doc)
@@ -312,6 +340,8 @@ let lint_cmd =
             Logs.err (fun m -> m "lint: give a BENCH or --all");
             exit 2
     in
+    (* In JSON mode stdout carries exactly one JSON object. *)
+    let out = if json then Format.err_formatter else Format.std_formatter in
     let collector = Cccs.Analysis.Diag.Collector.create () in
     List.iter
       (fun (e : Workloads.Suite.entry) ->
@@ -330,19 +360,187 @@ let lint_cmd =
         in
         Cccs.Analysis.Diag.Collector.add_list collector diags;
         List.iter
-          (fun d -> print_endline (Cccs.Analysis.Diag.to_string d))
+          (fun d -> Format.fprintf out "%s@." (Cccs.Analysis.Diag.to_string d))
           diags)
       entries;
-    Format.printf "%a@." Cccs.Analysis.Diag.Collector.pp_summary collector;
+    Format.fprintf out "%a@." Cccs.Analysis.Diag.Collector.pp_summary collector;
+    if json then begin
+      let open Cccs_obs.Json in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("schema", Str "cccs-lint/1");
+                ( "ok",
+                  Bool (Cccs.Analysis.Diag.Collector.exit_status collector = 0)
+                );
+                ("errors", int (Cccs.Analysis.Diag.Collector.errors collector));
+                ( "warnings",
+                  int (Cccs.Analysis.Diag.Collector.warnings collector) );
+                ( "diags",
+                  Arr
+                    (List.map diag_json
+                       (Cccs.Analysis.Diag.Collector.diags collector)) );
+              ]))
+    end;
     exit (Cccs.Analysis.Diag.Collector.exit_status collector)
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the whole-pipeline static verifier (dataflow, schedule, \
-          encoding and decoder checks) on one workload or the whole suite")
+          encoding, decoder and image checks) on one workload or the whole \
+          suite")
     Term.(const run $ setup_logs $ bench_opt_arg $ all_arg $ pass_arg
-          $ passes_arg)
+          $ passes_arg $ json_arg)
+
+let validate_cmd =
+  let bench_opt_arg =
+    let doc = "Workload name (see `cccs list`).  Omit with $(b,--all)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let all_arg =
+    let doc = "Validate every workload in the suite." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit one machine-readable JSON report (schema $(b,cccs-validate/1)) \
+       on stdout; the human-readable report moves to stderr."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let resync_arg =
+    let doc =
+      "Blocks per scheme to put through the single-bit-flip \
+       resynchronization-distance analysis (0 disables it)."
+    in
+    Arg.(value & opt int 4 & info [ "resync-blocks" ] ~docv:"N" ~doc)
+  in
+  let run () bench all json resync_blocks =
+    let entries =
+      if all then Workloads.Suite.all
+      else
+        match bench with
+        | Some b -> [ find_workload b ]
+        | None ->
+            Logs.err (fun m -> m "validate: give a BENCH or --all");
+            exit 2
+    in
+    let out = if json then Format.err_formatter else Format.std_formatter in
+    let rc = Cccs_obs.Recorder.create () in
+    let obs = Cccs_obs.Recorder.sink rc in
+    let any_error = ref false in
+    let workloads_json =
+      List.map
+        (fun (e : Workloads.Suite.entry) ->
+          let r = Cccs.Workload_run.load e in
+          let t = Cccs.Analysis.target_of_run r in
+          let workload = t.Cccs.Analysis.Pass.workload in
+          let program =
+            match t.Cccs.Analysis.Pass.program with
+            | Some p -> p
+            | None -> assert false (* target_of_run always sets it *)
+          in
+          Format.fprintf out "%s:@." workload;
+          let schemes_json =
+            List.map
+              (fun (sc : Encoding.Scheme.t) ->
+                let name = sc.Encoding.Scheme.name in
+                let t0 = Unix.gettimeofday () in
+                let diags, summary =
+                  Cccs_obs.Sink.timed ~obs ~stage:Cccs_obs.Event.Decoder_gen
+                    ~label:("validate." ^ name) (fun () ->
+                      Cccs.Analysis.Image_check.check_scheme ~workload ~program
+                        ?tailored:t.Cccs.Analysis.Pass.tailored ~resync_blocks
+                        sc)
+                in
+                let seconds = Unix.gettimeofday () -. t0 in
+                if List.exists Cccs.Analysis.Diag.is_error diags then
+                  any_error := true;
+                List.iter
+                  (fun d ->
+                    Format.fprintf out "%s@." (Cccs.Analysis.Diag.to_string d))
+                  diags;
+                let open Cccs.Analysis.Image_check in
+                (match summary.resync with
+                | Some rs ->
+                    Cccs_obs.Sink.gauge ~obs
+                      (Printf.sprintf "validate.%s.%s.resync_max_distance"
+                         workload name)
+                      (float_of_int rs.max_distance);
+                    Cccs_obs.Sink.gauge ~obs
+                      (Printf.sprintf "validate.%s.%s.resync_silent_flips"
+                         workload name)
+                      (float_of_int rs.silent_flips)
+                | None -> ());
+                Format.fprintf out
+                  "  %-10s %3d blocks %5d ops  %d error(s) %d warning(s)%s \
+                   %.3fs@."
+                  name summary.blocks summary.ops summary.errors
+                  summary.warnings
+                  (match summary.resync with
+                  | Some rs ->
+                      Printf.sprintf "  resync worst %d cw, %d/%d silent"
+                        rs.max_distance rs.silent_flips rs.flips_analyzed
+                  | None -> "")
+                  seconds;
+                let open Cccs_obs.Json in
+                Obj
+                  [
+                    ("name", Str name);
+                    ("blocks", int summary.blocks);
+                    ("ops", int summary.ops);
+                    ("errors", int summary.errors);
+                    ("warnings", int summary.warnings);
+                    ( "resync",
+                      match summary.resync with
+                      | None -> Null
+                      | Some rs ->
+                          Obj
+                            [
+                              ("blocks_analyzed", int rs.blocks_analyzed);
+                              ("flips_analyzed", int rs.flips_analyzed);
+                              ("silent_flips", int rs.silent_flips);
+                              ("max_distance", int rs.max_distance);
+                              ("worst_block", int rs.worst_block);
+                            ] );
+                    ("seconds", Num seconds);
+                    ("diags", Arr (List.map diag_json diags));
+                  ])
+              t.Cccs.Analysis.Pass.schemes
+          in
+          Cccs_obs.Json.Obj
+            [
+              ("name", Cccs_obs.Json.Str workload);
+              ("schemes", Cccs_obs.Json.Arr schemes_json);
+            ])
+        entries
+    in
+    if json then
+      print_endline
+        (Cccs_obs.Json.to_string
+           (Cccs_obs.Json.Obj
+              [
+                ("schema", Cccs_obs.Json.Str "cccs-validate/1");
+                ("ok", Cccs_obs.Json.Bool (not !any_error));
+                ("events", Cccs_obs.Json.int (Cccs_obs.Recorder.length rc));
+                ("workloads", Cccs_obs.Json.Arr workloads_json);
+              ]))
+    else
+      Format.fprintf out "validate: %s@."
+        (if !any_error then "FAILED" else "clean");
+    exit (if !any_error then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Re-decode every scheme's ROM image with an independent abstract \
+          decoder (published tables only), recover block boundaries and the \
+          CFG, and check round-trip, ATB mappability, dense-map ranges, \
+          frame guards and resynchronization distance")
+    Term.(const run $ setup_logs $ bench_opt_arg $ all_arg $ json_arg
+          $ resync_arg)
 
 let faults_cmd =
   let flips_arg =
@@ -570,6 +768,7 @@ let () =
       trace_cmd;
       verify_cmd;
       lint_cmd;
+      validate_cmd;
       faults_cmd;
       disasm_cmd;
       stats_cmd;

@@ -26,6 +26,9 @@ type row = {
   schemes_ok : bool;
   lint_ok : bool;
   lint_warnings : int;
+  validate_ok : bool;
+  validate_failed : string list;
+      (* schemes the image-level translation validator rejected *)
   faults_ok : bool;
   faults_detected : int;
   seconds : float;
@@ -95,6 +98,16 @@ let check_workload (e : Workloads.Suite.entry) =
   let diags = Cccs.Analysis.lint_run r in
   let lint_errors = List.filter Cccs.Analysis.Diag.is_error diags in
   let lint_ok = lint_errors = [] in
+  (* The image-level translation validator attributes its findings to a
+     scheme; the per-scheme column shows exactly which ROMs failed. *)
+  let validate_failed =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (d : Cccs.Analysis.Diag.t) ->
+           d.Cccs.Analysis.Diag.loc.Cccs.Analysis.Diag.scheme)
+         lint_errors)
+  in
+  let validate_ok = validate_failed = [] in
   List.iter
     (fun d ->
       Printf.fprintf out "  %s\n" (Cccs.Analysis.Diag.to_string d))
@@ -102,7 +115,8 @@ let check_workload (e : Workloads.Suite.entry) =
   let seconds = Unix.gettimeofday () -. t0 in
   Printf.fprintf out
     "%-12s blocks=%5d ops=%6d ilp=%4.2f hoist=%4d | dyn_ops=%8d visits=%7d \
-     %s | mem %s trace %s schemes %s lint %s faults %s(%d det) | %.2fs\n%!"
+     %s | mem %s trace %s schemes %s lint %s validate %s faults %s(%d det) | \
+     %.2fs\n%!"
     r.Cccs.Workload_run.name
     (Tepic.Program.num_blocks prog)
     (Tepic.Program.num_ops prog)
@@ -117,6 +131,8 @@ let check_workload (e : Workloads.Suite.entry) =
     (if trace_ok then "OK" else "MISMATCH")
     (if schemes_ok then "OK" else "MISMATCH")
     (if lint_ok then "OK" else "FAIL")
+    (if validate_ok then "OK"
+     else "FAIL[" ^ String.concat "," validate_failed ^ "]")
     (if faults_ok then "OK" else "FAIL")
     faults_detected seconds;
   {
@@ -126,6 +142,8 @@ let check_workload (e : Workloads.Suite.entry) =
     schemes_ok;
     lint_ok;
     lint_warnings = List.length diags - List.length lint_errors;
+    validate_ok;
+    validate_failed;
     faults_ok;
     faults_detected;
     seconds;
@@ -137,6 +155,7 @@ let checks =
     ("differential-trace", fun r -> r.trace_ok);
     ("scheme-decode-back", fun r -> r.schemes_ok);
     ("static-lint", fun r -> r.lint_ok);
+    ("image-validate", fun r -> r.validate_ok);
     ("fault-protection", fun r -> r.faults_ok);
   ]
 
@@ -151,6 +170,9 @@ let json_report rows ok =
         ("schemes_ok", Bool r.schemes_ok);
         ("lint_ok", Bool r.lint_ok);
         ("lint_warnings", int r.lint_warnings);
+        ("validate_ok", Bool r.validate_ok);
+        ( "validate_failed",
+          Arr (List.map (fun s -> Str s) r.validate_failed) );
         ("faults_ok", Bool r.faults_ok);
         ("faults_detected", int r.faults_detected);
         ("seconds", Num r.seconds);
@@ -192,7 +214,8 @@ let () =
   let ok =
     List.for_all
       (fun r ->
-        r.mem_ok && r.trace_ok && r.schemes_ok && r.lint_ok && r.faults_ok)
+        r.mem_ok && r.trace_ok && r.schemes_ok && r.lint_ok && r.validate_ok
+        && r.faults_ok)
       rows
   in
   if json_mode then

@@ -16,6 +16,9 @@ module Dataflow_check = Dataflow_check
 module Schedule_check = Schedule_check
 module Encoding_check = Encoding_check
 module Decoder_check = Decoder_check
+module Abstract_decoder = Abstract_decoder
+module Cfg_recover = Cfg_recover
+module Image_check = Image_check
 
 (* The pass registry, in pipeline order.  New passes (bus-energy lint, ATB
    reachability, ...) append here. *)
@@ -25,6 +28,7 @@ let passes : (module Pass.S) list =
     Schedule_check.pass;
     Encoding_check.pass;
     Decoder_check.pass;
+    Image_check.pass;
   ]
 
 let pass_names =

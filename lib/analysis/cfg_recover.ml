@@ -1,0 +1,40 @@
+(* CFG recovery over the abstract decoder's output: successors are read
+   off the *recovered* branch ops, not the IR, so a mis-decoded target
+   shows up as an unmappable edge rather than being masked by the
+   compiler's own (correct) CFG. *)
+
+type t = {
+  nblocks : int;
+  succs : int list array;
+      (** recovered successor block ids; may point out of range when the
+          image encodes a bad target — the validator reports those *)
+  reachable : bool array;
+}
+
+let successors_of_block ~nblocks i ops =
+  let fallthrough = if i + 1 < nblocks then [ i + 1 ] else [] in
+  match List.rev ops with
+  | [] -> fallthrough
+  | last :: _ -> (
+      if not (Tepic.Op.is_branch last) then fallthrough
+      else
+        match Tepic.Op.branch_target last with
+        | Some target ->
+            if Tepic.Op.is_conditional_branch last then target :: fallthrough
+            else [ target ]
+        | None -> [] (* RET: no static successor *))
+
+let recover ~entry (blocks : Tepic.Op.t list array) =
+  let nblocks = Array.length blocks in
+  let succs =
+    Array.mapi (fun i ops -> successors_of_block ~nblocks i ops) blocks
+  in
+  let reachable = Array.make nblocks false in
+  let rec dfs i =
+    if i >= 0 && i < nblocks && not reachable.(i) then begin
+      reachable.(i) <- true;
+      List.iter dfs succs.(i)
+    end
+  in
+  if nblocks > 0 then dfs entry;
+  { nblocks; succs; reachable }

@@ -2,6 +2,7 @@ type severity = Error | Warning | Info
 
 type loc = {
   workload : string;
+  scheme : string option;
   block : int option;
   inst : int option;
   bit : int option;
@@ -14,7 +15,8 @@ type t = {
   message : string;
 }
 
-let loc ?block ?inst ?bit workload = { workload; block; inst; bit }
+let loc ?scheme ?block ?inst ?bit workload =
+  { workload; scheme; block; inst; bit }
 
 (* The authoritative code registry.  Codes are append-only: once shipped, a
    code keeps its meaning forever (CI filters and tests key on them). *)
@@ -78,6 +80,35 @@ let registry =
     ( "CCCS-E051",
       Error,
       "decoder OPT dispatch lacks a case arm for a live operation type" );
+    (* Image-level translation validation (Image_check) *)
+    ( "CCCS-E100",
+      Error,
+      "recovered block boundary disagrees with the scheme's block index" );
+    ( "CCCS-E101",
+      Error,
+      "abstract decode fell off the published code tables or ran out of \
+       image bits" );
+    ( "CCCS-E102",
+      Error,
+      "recovered op stream disagrees with the scheduled program \
+       (round-trip mismatch)" );
+    ( "CCCS-E103",
+      Error,
+      "recovered branch targets a block the ATB cannot map" );
+    ( "CCCS-E104",
+      Error,
+      "recovered field indexes past its published dense table (tailored \
+       map or dictionary)" );
+    ( "CCCS-E105",
+      Error,
+      "recovered frame length or guard word disagrees with the payload" );
+    ( "CCCS-E106",
+      Error,
+      "program emits a symbol missing from the published codebook" );
+    ( "CCCS-W107",
+      Warning,
+      "a single-bit flip can silently desynchronize codewords to the end \
+       of an unframed block" );
     (* Protected block framing (Encoding_check) *)
     ( "CCCS-E500",
       Error,
@@ -114,6 +145,7 @@ let pp_severity ppf = function
 
 let pp_loc ppf l =
   Format.pp_print_string ppf l.workload;
+  Option.iter (fun s -> Format.fprintf ppf ":%s" s) l.scheme;
   Option.iter (fun b -> Format.fprintf ppf ":block %d" b) l.block;
   Option.iter (fun i -> Format.fprintf ppf ":inst %d" i) l.inst;
   Option.iter (fun b -> Format.fprintf ppf ":bit %d" b) l.bit

@@ -14,6 +14,8 @@ type severity = Error | Warning | Info
     an encoding finding a block and bit offset into the ROM image. *)
 type loc = {
   workload : string;
+  scheme : string option;
+      (** the encoding scheme a finding is attributed to, when one is *)
   block : int option;
   inst : int option;
   bit : int option;
@@ -26,8 +28,8 @@ type t = {
   message : string;
 }
 
-(** [loc ?block ?inst ?bit workload] builds a location. *)
-val loc : ?block:int -> ?inst:int -> ?bit:int -> string -> loc
+(** [loc ?scheme ?block ?inst ?bit workload] builds a location. *)
+val loc : ?scheme:string -> ?block:int -> ?inst:int -> ?bit:int -> string -> loc
 
 (** [make ~code ~loc message] builds a diagnostic; the severity comes from
     {!registry}.  Raises [Invalid_argument] on a code not in the

@@ -11,6 +11,9 @@ module Dataflow_check = Cccs_analysis.Dataflow_check
 module Schedule_check = Cccs_analysis.Schedule_check
 module Encoding_check = Cccs_analysis.Encoding_check
 module Decoder_check = Cccs_analysis.Decoder_check
+module Abstract_decoder = Cccs_analysis.Abstract_decoder
+module Cfg_recover = Cccs_analysis.Cfg_recover
+module Image_check = Cccs_analysis.Image_check
 
 val passes : (module Pass.S) list
 

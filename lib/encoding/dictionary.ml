@@ -50,11 +50,13 @@ let select_entries counts =
   in
   Array.of_list (take max_entries sorted)
 
+let entries_of_program program = select_entries (collect_candidates program)
+let index_bits ~nentries = max 1 (Bits.bits_needed (max 2 nentries))
+
 let build program =
-  let counts = collect_candidates program in
-  let entries = select_entries counts in
+  let entries = entries_of_program program in
   let nentries = Array.length entries in
-  let idx_bits = max 1 (Bits.bits_needed (max 2 nentries)) in
+  let idx_bits = index_bits ~nentries in
   let index : (int list, int) Hashtbl.t = Hashtbl.create 512 in
   Array.iteri (fun i seq -> Hashtbl.replace index seq i) entries;
   let image, offsets, sizes =

@@ -20,4 +20,13 @@ val max_seq_len : int
 (** Maximum dictionary entries. *)
 val max_entries : int
 
+(** [entries_of_program program] — the dictionary ROM contents (each entry
+    a sequence of 40-bit op images), exactly as {!build} selects them.
+    Deterministic in the program, so an independent decoder can reconstruct
+    the published table without the encoder instance. *)
+val entries_of_program : Tepic.Program.t -> int list array
+
+(** [index_bits ~nentries] — width of a dictionary reference index. *)
+val index_bits : nentries:int -> int
+
 val build : Tepic.Program.t -> Scheme.t

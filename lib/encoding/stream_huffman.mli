@@ -12,6 +12,15 @@
 
 val max_code_len : int
 
+(** Stream symbols are packed as [value | width << 42] so that, e.g., a
+    10-bit zero and a 13-bit zero are distinct dictionary entries.  The
+    packing is part of the published alphabet: an independent decoder must
+    unpack symbols the same way to recover field values. *)
+val pack : value:int -> width:int -> int
+
+(** [unpack sym] is [(value, width)]; inverse of {!pack}. *)
+val unpack : int -> int * int
+
 (** The six stream partitions.  Every configuration keeps the T/S/OPT/
     OPCODE prefix in stream 0, which is what makes the code decodable
     (the prefix identifies the format and hence every other stream's

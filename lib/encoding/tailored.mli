@@ -36,6 +36,38 @@ val spec_of_program : Tepic.Program.t -> spec
 (** [op_bits spec kind] — tailored width of ops of format [kind]. *)
 val op_bits : spec -> Tepic.Opcode.kind -> int
 
+(** {1 Published field layout}
+
+    The pieces of the PLA's field-extraction program, exposed so an
+    independent decoder (the translation validator's abstract decoder)
+    can re-derive the bit layout without the encoder's closures. *)
+
+(** Fields dropped entirely from the tailored encoding. *)
+val is_reserved : string -> bool
+
+(** Raw fields whose values pass through at reduced width (branch targets
+    stay patchable by the linker). *)
+val is_raw : string -> bool
+
+(** [reg_class_of_field opcode ~tcs fname] — the register file a field
+    indexes, decided by the opcode and (for memory ops) the TCS target
+    specifier; [None] for non-register fields. *)
+val reg_class_of_field : Tepic.Opcode.t -> tcs:int -> string -> Tepic.Reg.cls option
+
+(** [reg_map spec cls] / [field_map spec name] — the dense map serving a
+    register class or a named non-register field (a zero-width constant
+    map when the program never varies the field). *)
+val reg_map : spec -> Tepic.Reg.cls -> dense_map
+
+val field_map : spec -> string -> dense_map
+
+(** [field_width spec kind fd] — tailored width of a non-prefix field in
+    format [kind]. *)
+val field_width : spec -> Tepic.Opcode.kind -> Tepic.Format_spec.field -> int
+
+(** [header_bits spec] — T + optional S + OPT + OPCODE prefix width. *)
+val header_bits : spec -> int
+
 val build : Tepic.Program.t -> Scheme.t
 
 (** [build_with_spec program] — also return the derived specification

@@ -14,6 +14,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("robustness", Test_robustness.suite);
       ("analysis", Test_analysis.suite);
+      ("validate", Test_validate.suite);
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
     ]
