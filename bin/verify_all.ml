@@ -34,7 +34,10 @@ type row = {
   seconds : float;
 }
 
-let check_workload (e : Workloads.Suite.entry) =
+(* Per-workload report lines go through [emit] so a parallel sweep can
+   buffer each workload's output and print it in suite order after the
+   gather; at jobs=1 [emit] writes straight to [out] as before. *)
+let check_workload ~emit (e : Workloads.Suite.entry) =
   let t0 = Unix.gettimeofday () in
   let r = Cccs.Workload_run.load e in
   let c = r.Cccs.Workload_run.compiled in
@@ -110,13 +113,13 @@ let check_workload (e : Workloads.Suite.entry) =
   let validate_ok = validate_failed = [] in
   List.iter
     (fun d ->
-      Printf.fprintf out "  %s\n" (Cccs.Analysis.Diag.to_string d))
+      Printf.ksprintf emit "  %s\n" (Cccs.Analysis.Diag.to_string d))
     lint_errors;
   let seconds = Unix.gettimeofday () -. t0 in
-  Printf.fprintf out
+  Printf.ksprintf emit
     "%-12s blocks=%5d ops=%6d ilp=%4.2f hoist=%4d | dyn_ops=%8d visits=%7d \
      %s | mem %s trace %s schemes %s lint %s validate %s faults %s(%d det) | \
-     %.2fs\n%!"
+     %.2fs\n"
     r.Cccs.Workload_run.name
     (Tepic.Program.num_blocks prog)
     (Tepic.Program.num_ops prog)
@@ -195,7 +198,33 @@ let json_report rows ok =
     ]
 
 let () =
-  let rows = List.map check_workload Workloads.Suite.all in
+  let jobs = Cccs.Parallel.default_jobs () in
+  let rows =
+    if jobs <= 1 then
+      (* Sequential: stream each workload's lines as they finish. *)
+      List.map
+        (fun e ->
+          let r = check_workload ~emit:(fun s -> output_string out s) e in
+          flush out;
+          r)
+        Workloads.Suite.all
+    else
+      (* Parallel (CCCS_JOBS > 1): each workload verifies in its own
+         domain with its output buffered; buffers print in suite order
+         after the gather, so the report reads identically to the
+         sequential run (modulo the per-workload timings). *)
+      List.map
+        (fun (r, lines) ->
+          output_string out lines;
+          r)
+        (Cccs.Parallel.map ~jobs
+           (fun e ->
+             let b = Buffer.create 512 in
+             let r = check_workload ~emit:(Buffer.add_string b) e in
+             (r, Buffer.contents b))
+           Workloads.Suite.all)
+  in
+  flush out;
   let total = List.length rows in
   let summary (label, ok_of) =
     let failed = List.filter (fun r -> not (ok_of r)) rows in

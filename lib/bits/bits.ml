@@ -28,17 +28,41 @@ module Writer = struct
     end;
     w.nbits <- w.nbits + 1
 
+  (* Word-wise append: every byte past [nbits] is zero (create/ensure make
+     fresh bytes and add_bit only ever sets the current bit), so a field can
+     be OR-ed into the buffer a byte at a time instead of bit by bit. *)
   let add_bits w ~width v =
     if width < 0 || width > 62 then
       invalid_arg "Bits.Writer.add_bits: width out of range";
     if v < 0 || (width < 62 && v lsr width <> 0) then
       invalid_arg "Bits.Writer.add_bits: value does not fit width";
-    for i = width - 1 downto 0 do
-      add_bit w ((v lsr i) land 1 = 1)
-    done
+    if width > 0 then begin
+      ensure w width;
+      let bytes = w.bytes in
+      let pos = ref w.nbits and left = ref width in
+      while !left > 0 do
+        let byte = !pos lsr 3 and off = !pos land 7 in
+        let take = min (8 - off) !left in
+        let chunk = (v lsr (!left - take)) land ((1 lsl take) - 1) in
+        let cur = Char.code (Bytes.unsafe_get bytes byte) in
+        Bytes.unsafe_set bytes byte
+          (Char.unsafe_chr (cur lor (chunk lsl (8 - off - take))));
+        pos := !pos + take;
+        left := !left - take
+      done;
+      w.nbits <- w.nbits + width
+    end
 
   let add_string w s =
-    String.iter (fun c -> add_bits w ~width:8 (Char.code c)) s
+    let n = String.length s in
+    if n > 0 then
+      if w.nbits land 7 = 0 then begin
+        (* Byte-aligned: the whole string lands on byte boundaries. *)
+        ensure w (8 * n);
+        Bytes.blit_string s 0 w.bytes (w.nbits lsr 3) n;
+        w.nbits <- w.nbits + (8 * n)
+      end
+      else String.iter (fun c -> add_bits w ~width:8 (Char.code c)) s
 
   let align_byte w =
     let pad = (8 - (w.nbits land 7)) land 7 in
@@ -69,6 +93,14 @@ module Reader = struct
            bit r.nbits);
     r.cursor <- bit
 
+  let advance r n =
+    if n < 0 || r.cursor + n > r.nbits then
+      invalid_arg
+        (Printf.sprintf
+           "Bits.Reader.advance: %d bits from bit %d/%d out of range" n
+           r.cursor r.nbits);
+    r.cursor <- r.cursor + n
+
   let read_bit r =
     if r.cursor >= r.nbits then
       invalid_arg
@@ -78,17 +110,90 @@ module Reader = struct
     r.cursor <- r.cursor + 1;
     Char.code r.data.[byte] land (0x80 lsr off) <> 0
 
+  (* One multi-byte load instead of [width] single-bit reads.  The first
+     byte is masked down to its unconsumed low bits, so at most
+     (7 + 56 + 7) / 8 = 8 partial bytes accumulate — 57 significant bits,
+     inside OCaml's 63-bit int.
+
+     The hot entry [unsafe_peek_bits] is deliberately straight-line: the
+     classic (non-flambda) compiler never inlines a function containing a
+     loop, and Huffman decode peeks at most max_len <= 20 bits (2-4
+     bytes), so the unrolled loads below are the path that must inline
+     into the decode loop.  Wide peeks and peeks running past the end of
+     the stream take the loop in [peek_slow]. *)
+  let peek_slow r ~width =
+    let data = r.data in
+    let len = String.length data in
+    let byte = r.cursor lsr 3 and off = r.cursor land 7 in
+    let m = (off + width + 7) lsr 3 in
+    let v =
+      ref
+        (if byte < len then
+           Char.code (String.unsafe_get data byte) land (0xff lsr off)
+         else 0)
+    in
+    for i = 1 to m - 1 do
+      let b =
+        if byte + i < len then Char.code (String.unsafe_get data (byte + i))
+        else 0
+      in
+      v := (!v lsl 8) lor b
+    done;
+    !v lsr ((8 * m) - off - width)
+
+  let[@inline] unsafe_peek_bits r ~width =
+    if width = 0 then 0
+    else begin
+      let data = r.data in
+      let byte = r.cursor lsr 3 and off = r.cursor land 7 in
+      let m = (off + width + 7) lsr 3 in
+      if m <= 4 && byte + m <= String.length data then begin
+        let v0 = Char.code (String.unsafe_get data byte) land (0xff lsr off) in
+        let v =
+          if m = 1 then v0
+          else if m = 2 then
+            (v0 lsl 8) lor Char.code (String.unsafe_get data (byte + 1))
+          else if m = 3 then
+            (v0 lsl 16)
+            lor (Char.code (String.unsafe_get data (byte + 1)) lsl 8)
+            lor Char.code (String.unsafe_get data (byte + 2))
+          else
+            (v0 lsl 24)
+            lor (Char.code (String.unsafe_get data (byte + 1)) lsl 16)
+            lor (Char.code (String.unsafe_get data (byte + 2)) lsl 8)
+            lor Char.code (String.unsafe_get data (byte + 3))
+        in
+        v lsr ((8 * m) - off - width)
+      end
+      else peek_slow r ~width
+    end
+
+  let peek_bits r ~width =
+    if width < 0 || width > 56 then
+      invalid_arg
+        (Printf.sprintf "Bits.Reader.peek_bits: width %d out of range" width);
+    unsafe_peek_bits r ~width
+
+  let[@inline] unsafe_advance r n = r.cursor <- r.cursor + n
+
   let read_bits r ~width =
     if width < 0 || width > 62 then
       invalid_arg
         (Printf.sprintf
            "Bits.Reader.read_bits: width %d out of range at bit %d/%d" width
            r.cursor r.nbits);
-    let v = ref 0 in
-    for _ = 1 to width do
-      v := (!v lsl 1) lor (if read_bit r then 1 else 0)
-    done;
-    !v
+    if width <= 56 && r.nbits - r.cursor >= width then begin
+      let v = unsafe_peek_bits r ~width in
+      r.cursor <- r.cursor + width;
+      v
+    end
+    else begin
+      let v = ref 0 in
+      for _ = 1 to width do
+        v := (!v lsl 1) lor (if read_bit r then 1 else 0)
+      done;
+      !v
+    end
 
   let read_bit_opt r = if r.cursor >= r.nbits then None else Some (read_bit r)
 
@@ -101,7 +206,12 @@ end
 (* Bitwise CRCs, MSB-first, zero initial value and no final xor — the guard
    words of the protected block framing (Scheme.protect) and of protected
    decode tables.  Any CRC with these generator polynomials detects every
-   single-bit error and every burst shorter than the register. *)
+   single-bit error and every burst shorter than the register.
+
+   The bit-at-a-time [update] is the definition; whole-byte paths go through
+   256-entry tables derived from it (test_bits carries the differential
+   property).  The tables are built eagerly at module initialization so no
+   lazy state is ever forced from a worker domain. *)
 module Crc = struct
   let crc8_poly = 0x07 (* x^8 + x^2 + x + 1 *)
   let crc16_poly = 0x1021 (* CCITT: x^16 + x^12 + x^5 + 1 *)
@@ -114,16 +224,71 @@ module Crc = struct
     let crc = if crc land (1 lsl width) <> 0 then crc lxor poly else crc in
     crc land mask
 
-  let of_reader ~width ~poly r ~nbits =
-    let crc = ref 0 in
-    for _ = 1 to nbits do
-      crc := update ~width ~poly !crc (Reader.read_bit r)
+  let update_byte ~width ~poly crc b =
+    let crc = ref crc in
+    for i = 7 downto 0 do
+      crc := update ~width ~poly !crc ((b lsr i) land 1 = 1)
     done;
     !crc
 
+  let make_table ~width ~poly = Array.init 256 (update_byte ~width ~poly 0)
+  let crc8_table = make_table ~width:8 ~poly:crc8_poly
+  let crc16_table = make_table ~width:16 ~poly:crc16_poly
+
+  let table_for ~width ~poly =
+    if width = 8 && poly = crc8_poly then Some crc8_table
+    else if width = 16 && poly = crc16_poly then Some crc16_table
+    else None
+
+  (* The standard MSB-first byte step: shift the register one byte and fold
+     the outgoing byte (xor incoming data) back in through the table. *)
+  let step_byte ~width tbl crc b =
+    if width = 8 then Array.unsafe_get tbl (crc lxor b)
+    else
+      ((crc lsl 8) lxor Array.unsafe_get tbl (((crc lsr (width - 8)) lxor b) land 0xff))
+      land ((1 lsl width) - 1)
+
+  let of_reader ~width ~poly r ~nbits =
+    match table_for ~width ~poly with
+    | Some tbl when nbits > 8 && Reader.remaining r >= nbits ->
+        let crc = ref 0 in
+        let left = ref nbits in
+        (* Align to a byte boundary bit by bit, then run the byte table over
+           the aligned middle, then finish the trailing partial byte. *)
+        while Reader.pos r land 7 <> 0 && !left > 0 do
+          crc := update ~width ~poly !crc (Reader.read_bit r);
+          decr left
+        done;
+        let whole = !left lsr 3 in
+        if whole > 0 then begin
+          let start = Reader.pos r lsr 3 in
+          let data = r.Reader.data in
+          for i = start to start + whole - 1 do
+            crc := step_byte ~width tbl !crc (Char.code (String.unsafe_get data i))
+          done;
+          Reader.advance r (8 * whole);
+          left := !left - (8 * whole)
+        end;
+        for _ = 1 to !left do
+          crc := update ~width ~poly !crc (Reader.read_bit r)
+        done;
+        !crc
+    | _ ->
+        let crc = ref 0 in
+        for _ = 1 to nbits do
+          crc := update ~width ~poly !crc (Reader.read_bit r)
+        done;
+        !crc
+
   let of_string ~width ~poly s =
-    let r = Reader.of_string s in
-    of_reader ~width ~poly r ~nbits:(8 * String.length s)
+    match table_for ~width ~poly with
+    | Some tbl ->
+        let crc = ref 0 in
+        String.iter (fun c -> crc := step_byte ~width tbl !crc (Char.code c)) s;
+        !crc
+    | None ->
+        let r = Reader.of_string s in
+        of_reader ~width ~poly r ~nbits:(8 * String.length s)
 end
 
 let flip_bits s bits =

@@ -17,11 +17,14 @@ module Writer : sig
   val add_bit : t -> bool -> unit
 
   (** [add_bits w ~width v] appends the [width] low bits of [v], MSB first.
+      The field is OR-ed into the buffer a byte at a time (at most 8
+      iterations for the widest legal field) rather than bit by bit.
       Raises [Invalid_argument] if [width < 0], [width > 62] or [v] does not
       fit in [width] bits. *)
   val add_bits : t -> width:int -> int -> unit
 
-  (** [add_string w s] appends every bit of the byte string [s]. *)
+  (** [add_string w s] appends every bit of the byte string [s].  When the
+      writer is byte-aligned this is a single [Bytes.blit_string]. *)
   val add_string : t -> string -> unit
 
   (** [align_byte w] pads with zero bits to the next byte boundary and
@@ -52,12 +55,44 @@ module Reader : sig
       out of range; the message carries the target bit and stream length. *)
   val seek : t -> int -> unit
 
+  (** [advance r n] moves the cursor [n] bits forward.  Raises
+      [Invalid_argument] if [n < 0] or the move would pass the end of the
+      stream.  [peek_bits] + [advance] is the word-wise decode idiom:
+      inspect up to 56 bits in one load, then consume exactly the bits a
+      match used. *)
+  val advance : t -> int -> unit
+
   (** [read_bit r] consumes one bit.  Raises [Invalid_argument] at end of
       stream; the message carries the cursor position and stream length
       (e.g. ["Bits.Reader.read_bit: exhausted at bit 412/408"]). *)
   val read_bit : t -> bool
 
-  (** [read_bits r ~width] consumes [width] bits, MSB first. *)
+  (** [peek_bits r ~width] — the next [width] bits (MSB first) without
+      moving the cursor, read in one multi-byte load.  Bits past the end of
+      the stream read as zero, so near the end the result equals the
+      remaining bits left-shifted into the high positions:
+      [peek_bits r ~width = read_bits r ~width:(remaining r) lsl
+      (width - remaining r)].  [width] must lie in [0, 56] (the widest
+      window whose worst-case byte span, 7 leading skipped bits plus the
+      field, still fits an OCaml int). *)
+  val peek_bits : t -> width:int -> int
+
+  (** [unsafe_peek_bits r ~width] — {!peek_bits} without the width
+      validation: defined only for [width] in [0, 56].  For decode hot
+      loops whose caller already guarantees the bound (e.g. a Huffman
+      code's [max_len]). *)
+  val unsafe_peek_bits : t -> width:int -> int
+
+  (** [unsafe_advance r n] — {!advance} without the bounds validation:
+      defined only for [0 <= n <= remaining r].  Pairs with
+      {!unsafe_peek_bits} when the caller has already checked
+      [remaining]. *)
+  val unsafe_advance : t -> int -> unit
+
+  (** [read_bits r ~width] consumes [width] bits, MSB first.  Widths up to
+      56 with enough bits remaining go through the [peek_bits] word load;
+      wider or tail reads fall back to the bit loop (and raise exactly like
+      {!read_bit} on a short stream). *)
   val read_bits : t -> width:int -> int
 
   (** [read_bit_opt r] — total variant of {!read_bit}: [None] instead of
@@ -70,23 +105,39 @@ module Reader : sig
   val read_bits_opt : t -> width:int -> int option
 end
 
-(** Bitwise CRCs, MSB first, zero initial value, no final xor — the guard
-    words of the protected block framing and protected decode tables.  These
+(** CRCs, MSB first, zero initial value, no final xor — the guard words of
+    the protected block framing and protected decode tables.  These
     generator polynomials detect every single-bit error and every error
-    burst shorter than the CRC register. *)
+    burst shorter than the CRC register.
+
+    The bit-at-a-time {!update} is the defining register; {!of_string} and
+    {!of_reader} run the two built-in polynomials through 256-entry byte
+    tables derived from it (8× fewer register steps), falling back to the
+    bitwise register for other polynomials, partial bytes and unaligned
+    prefixes.  Both paths compute identical values — the differential
+    property is part of the test suite. *)
 module Crc : sig
   val crc8_poly : int  (** 0x07 — x^8 + x^2 + x + 1 *)
 
   val crc16_poly : int  (** 0x1021 — CCITT, x^16 + x^12 + x^5 + 1 *)
 
-  (** [update ~width ~poly crc bit] — shift one bit into the register. *)
+  (** [update ~width ~poly crc bit] — shift one bit into the register.
+      The bitwise reference; kept for partial bits and as the differential
+      oracle for the table path. *)
   val update : width:int -> poly:int -> int -> bool -> int
 
+  (** [update_byte ~width ~poly crc b] — eight {!update} steps, feeding the
+      byte [b] MSB first. *)
+  val update_byte : width:int -> poly:int -> int -> int -> int
+
   (** [of_reader ~width ~poly r ~nbits] — CRC of the next [nbits] bits,
-      consuming them.  Raises like {!Reader.read_bit} on a short stream. *)
+      consuming them.  Table-driven over the byte-aligned middle when the
+      polynomial is one of the two built-ins and the stream holds [nbits]
+      bits; raises like {!Reader.read_bit} on a short stream. *)
   val of_reader : width:int -> poly:int -> Reader.t -> nbits:int -> int
 
-  (** [of_string ~width ~poly s] — CRC over a whole byte string. *)
+  (** [of_string ~width ~poly s] — CRC over a whole byte string
+      (table-driven for the built-in polynomials). *)
   val of_string : width:int -> poly:int -> string -> int
 end
 

@@ -8,9 +8,15 @@ type schemes = {
   dict : Encoding.Scheme.t;
 }
 
-let scheme_cache : (string, schemes) Hashtbl.t = Hashtbl.create 17
+(* Domain-local like the Workload_run memo: schemes carry lazily-built
+   decode tables (mutable fields inside Canonical), so a parallel sweep
+   worker must construct and memoize its own rather than share the
+   caller's. *)
+let scheme_cache_key : (string, schemes) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 17)
 
 let schemes_of (r : Workload_run.run) =
+  let scheme_cache = Domain.DLS.get scheme_cache_key in
   match Hashtbl.find_opt scheme_cache r.Workload_run.name with
   | Some s -> s
   | None ->
@@ -38,6 +44,16 @@ let all_schemes s =
   @ s.streams
   @ [ ("full", s.full); ("tailored", s.tailored) ]
 
+(* Every figure driver maps a pure per-run row function over the SPEC set.
+   [sweep ?jobs f] is the shared harness: workloads are loaded inside the
+   mapped task so a parallel sweep compiles, executes and encodes each
+   workload entirely within one worker domain (per-domain memo tables make
+   this race-free); with [jobs = 1] — the default unless CCCS_JOBS is set —
+   it degrades to exactly the old sequential drivers, reusing the calling
+   domain's caches. *)
+let sweep ?jobs f =
+  Parallel.map ?jobs (fun e -> f (Workload_run.load e)) Workloads.Suite.spec
+
 (* ------------------------------------------------------------------ *)
 
 type fig5_row = {
@@ -45,20 +61,18 @@ type fig5_row = {
   ratios : (string * float) list;
 }
 
-let fig5 () =
-  List.map
-    (fun r ->
-      let s = schemes_of r in
-      let baseline_bits = s.base.Encoding.Scheme.code_bits in
-      {
-        bench = r.Workload_run.name;
-        ratios =
-          List.map
-            (fun (name, sc) ->
-              (name, Encoding.Scheme.ratio sc ~baseline_bits))
-            (all_schemes s);
-      })
-    (Workload_run.load_spec ())
+let fig5_for (r : Workload_run.run) =
+  let s = schemes_of r in
+  let baseline_bits = s.base.Encoding.Scheme.code_bits in
+  {
+    bench = r.Workload_run.name;
+    ratios =
+      List.map
+        (fun (name, sc) -> (name, Encoding.Scheme.ratio sc ~baseline_bits))
+        (all_schemes s);
+  }
+
+let fig5 ?jobs () = sweep ?jobs fig5_for
 
 (* ------------------------------------------------------------------ *)
 
@@ -69,43 +83,42 @@ type fig7_row = {
   atb_miss_rate : float;
 }
 
-let fig7 () =
-  List.map
-    (fun r ->
-      let s = schemes_of r in
-      let prog = r.Workload_run.compiled.Pipeline.program in
-      let cfg = Fetch.Config.default in
-      let totals =
-        List.map
-          (fun (name, sc) ->
-            let att =
-              Encoding.Att.build sc ~line_bits:cfg.Fetch.Config.line_bits prog
-            in
-            let total =
-              sc.Encoding.Scheme.code_bits + sc.Encoding.Scheme.table_bits
-              + att.Encoding.Att.compressed_bits
-            in
-            ( name,
-              total,
-              Encoding.Att.overhead att ~code_bits:sc.Encoding.Scheme.code_bits ))
-          (all_schemes s)
-      in
-      let att_full =
-        Encoding.Att.build s.full ~line_bits:cfg.Fetch.Config.line_bits prog
-      in
-      let sim =
-        Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:s.full
-          ~att:att_full r.Workload_run.exec.Emulator.Exec.trace
-      in
-      {
-        bench = r.Workload_run.name;
-        base_bits = s.base.Encoding.Scheme.code_bits;
-        schemes_total = totals;
-        atb_miss_rate =
-          float_of_int sim.Fetch.Sim.atb_misses
-          /. float_of_int (max 1 sim.Fetch.Sim.block_visits);
-      })
-    (Workload_run.load_spec ())
+let fig7_for (r : Workload_run.run) =
+  let s = schemes_of r in
+  let prog = r.Workload_run.compiled.Pipeline.program in
+  let cfg = Fetch.Config.default in
+  let totals =
+    List.map
+      (fun (name, sc) ->
+        let att =
+          Encoding.Att.build sc ~line_bits:cfg.Fetch.Config.line_bits prog
+        in
+        let total =
+          sc.Encoding.Scheme.code_bits + sc.Encoding.Scheme.table_bits
+          + att.Encoding.Att.compressed_bits
+        in
+        ( name,
+          total,
+          Encoding.Att.overhead att ~code_bits:sc.Encoding.Scheme.code_bits ))
+      (all_schemes s)
+  in
+  let att_full =
+    Encoding.Att.build s.full ~line_bits:cfg.Fetch.Config.line_bits prog
+  in
+  let sim =
+    Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:s.full
+      ~att:att_full r.Workload_run.exec.Emulator.Exec.trace
+  in
+  {
+    bench = r.Workload_run.name;
+    base_bits = s.base.Encoding.Scheme.code_bits;
+    schemes_total = totals;
+    atb_miss_rate =
+      float_of_int sim.Fetch.Sim.atb_misses
+      /. float_of_int (max 1 sim.Fetch.Sim.block_visits);
+  }
+
+let fig7 ?jobs () = sweep ?jobs fig7_for
 
 (* ------------------------------------------------------------------ *)
 
@@ -114,20 +127,19 @@ type fig10_row = {
   decoders : (string * Encoding.Scheme.decoder_info) list;
 }
 
-let fig10 () =
-  List.map
-    (fun r ->
-      let s = schemes_of r in
-      {
-        bench = r.Workload_run.name;
-        decoders =
-          List.filter_map
-            (fun (name, sc) ->
-              if name = "base" then None
-              else Some (name, sc.Encoding.Scheme.decoder))
-            (all_schemes s);
-      })
-    (Workload_run.load_spec ())
+let fig10_for (r : Workload_run.run) =
+  let s = schemes_of r in
+  {
+    bench = r.Workload_run.name;
+    decoders =
+      List.filter_map
+        (fun (name, sc) ->
+          if name = "base" then None
+          else Some (name, sc.Encoding.Scheme.decoder))
+        (all_schemes s);
+  }
+
+let fig10 ?jobs () = sweep ?jobs fig10_for
 
 (* ------------------------------------------------------------------ *)
 
@@ -139,9 +151,11 @@ type fig13_row = {
   tailored : Fetch.Sim.result;
 }
 
-let fig13_cache : (string, fig13_row) Hashtbl.t = Hashtbl.create 17
+let fig13_cache_key : (string, fig13_row) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 17)
 
 let fig13_for (r : Workload_run.run) =
+  let fig13_cache = Domain.DLS.get fig13_cache_key in
   match Hashtbl.find_opt fig13_cache r.Workload_run.name with
   | Some row -> row
   | None ->
@@ -172,7 +186,7 @@ let fig13_for (r : Workload_run.run) =
       Hashtbl.replace fig13_cache r.Workload_run.name row;
       row
 
-let fig13 () = List.map fig13_for (Workload_run.load_spec ())
+let fig13 ?jobs () = sweep ?jobs fig13_for
 
 (* ------------------------------------------------------------------ *)
 
@@ -181,20 +195,19 @@ type fig14_row = {
   flips : (string * int) list;
 }
 
-let fig14 () =
-  List.map
-    (fun r ->
-      let row = fig13_for r in
-      {
-        bench = row.bench;
-        flips =
-          [
-            ("base", row.base.Fetch.Sim.bus_flips);
-            ("compressed", row.compressed.Fetch.Sim.bus_flips);
-            ("tailored", row.tailored.Fetch.Sim.bus_flips);
-          ];
-      })
-    (Workload_run.load_spec ())
+let fig14_for (r : Workload_run.run) =
+  let row = fig13_for r in
+  {
+    bench = row.bench;
+    flips =
+      [
+        ("base", row.base.Fetch.Sim.bus_flips);
+        ("compressed", row.compressed.Fetch.Sim.bus_flips);
+        ("tailored", row.tailored.Fetch.Sim.bus_flips);
+      ];
+  }
+
+let fig14 ?jobs () = sweep ?jobs fig14_for
 
 type ablation_row = {
   bench : string;
@@ -202,26 +215,25 @@ type ablation_row = {
   miss_time : Fetch.Sim.result;
 }
 
-let ablation () =
-  List.map
-    (fun r ->
-      let s = schemes_of r in
-      let prog = r.Workload_run.compiled.Pipeline.program in
-      let trace = r.Workload_run.exec.Emulator.Exec.trace in
-      let cfg = Fetch.Config.default in
-      let comp_att =
-        Encoding.Att.build s.full ~line_bits:cfg.Fetch.Config.line_bits prog
-      in
-      {
-        bench = r.Workload_run.name;
-        hit_time =
-          Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:s.full
-            ~att:comp_att trace;
-        miss_time =
-          Fetch.Ablation.run ~cfg ~base_scheme:s.base ~comp_scheme:s.full
-            ~comp_att trace;
-      })
-    (Workload_run.load_spec ())
+let ablation_for (r : Workload_run.run) =
+  let s = schemes_of r in
+  let prog = r.Workload_run.compiled.Pipeline.program in
+  let trace = r.Workload_run.exec.Emulator.Exec.trace in
+  let cfg = Fetch.Config.default in
+  let comp_att =
+    Encoding.Att.build s.full ~line_bits:cfg.Fetch.Config.line_bits prog
+  in
+  {
+    bench = r.Workload_run.name;
+    hit_time =
+      Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:s.full
+        ~att:comp_att trace;
+    miss_time =
+      Fetch.Ablation.run ~cfg ~base_scheme:s.base ~comp_scheme:s.full
+        ~comp_att trace;
+  }
+
+let ablation ?jobs () = sweep ?jobs ablation_for
 
 type predictor_row = {
   bench : string;
@@ -229,30 +241,28 @@ type predictor_row = {
   gshare : Fetch.Sim.result;
 }
 
-let predictors () =
-  List.map
-    (fun r ->
-      let s = schemes_of r in
-      let prog = r.Workload_run.compiled.Pipeline.program in
-      let trace = r.Workload_run.exec.Emulator.Exec.trace in
-      let run cfg =
-        let att =
-          Encoding.Att.build s.full ~line_bits:cfg.Fetch.Config.line_bits prog
-        in
-        Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:s.full ~att
-          trace
-      in
-      {
-        bench = r.Workload_run.name;
-        two_bit = run Fetch.Config.default;
-        gshare =
-          run
-            {
-              Fetch.Config.default with
-              Fetch.Config.predictor = Fetch.Config.Gshare 12;
-            };
-      })
-    (Workload_run.load_spec ())
+let predictors_for (r : Workload_run.run) =
+  let s = schemes_of r in
+  let prog = r.Workload_run.compiled.Pipeline.program in
+  let trace = r.Workload_run.exec.Emulator.Exec.trace in
+  let run cfg =
+    let att =
+      Encoding.Att.build s.full ~line_bits:cfg.Fetch.Config.line_bits prog
+    in
+    Fetch.Sim.run ~model:Fetch.Config.Compressed ~cfg ~scheme:s.full ~att trace
+  in
+  {
+    bench = r.Workload_run.name;
+    two_bit = run Fetch.Config.default;
+    gshare =
+      run
+        {
+          Fetch.Config.default with
+          Fetch.Config.predictor = Fetch.Config.Gshare 12;
+        };
+  }
+
+let predictors ?jobs () = sweep ?jobs predictors_for
 
 type superblock_row = {
   bench : string;
@@ -263,34 +273,33 @@ type superblock_row = {
   sb_compressed : Fetch.Sim.result;
 }
 
-let superblocks () =
-  List.map
-    (fun r ->
-      let s = schemes_of r in
-      let prog = r.Workload_run.compiled.Pipeline.program in
-      let trace = r.Workload_run.exec.Emulator.Exec.trace in
-      let units = Fetch.Superblock.form prog in
-      let _, mean_unit_blocks = Fetch.Superblock.stats units in
-      let cfg = Fetch.Config.default in
-      let cfg_base = Fetch.Config.default_base in
-      let att sc c =
-        Encoding.Att.build sc ~line_bits:c.Fetch.Config.line_bits prog
-      in
-      let row13 = fig13_for r in
-      {
-        bench = r.Workload_run.name;
-        mean_unit_blocks;
-        bb_base = row13.base;
-        sb_base =
-          Fetch.Superblock.run ~model:Fetch.Config.Base ~cfg:cfg_base
-            ~scheme:s.base ~att:(att s.base cfg_base) units trace;
-        bb_compressed = row13.compressed;
-        sb_compressed =
-          Fetch.Superblock.run ~model:Fetch.Config.Compressed ~cfg
-            ~scheme:s.full ~att:(att s.full cfg) units trace;
-      })
-    (Workload_run.load_spec ())
+let superblocks_for (r : Workload_run.run) =
+  let s = schemes_of r in
+  let prog = r.Workload_run.compiled.Pipeline.program in
+  let trace = r.Workload_run.exec.Emulator.Exec.trace in
+  let units = Fetch.Superblock.form prog in
+  let _, mean_unit_blocks = Fetch.Superblock.stats units in
+  let cfg = Fetch.Config.default in
+  let cfg_base = Fetch.Config.default_base in
+  let att sc c =
+    Encoding.Att.build sc ~line_bits:c.Fetch.Config.line_bits prog
+  in
+  let row13 = fig13_for r in
+  {
+    bench = r.Workload_run.name;
+    mean_unit_blocks;
+    bb_base = row13.base;
+    sb_base =
+      Fetch.Superblock.run ~model:Fetch.Config.Base ~cfg:cfg_base
+        ~scheme:s.base ~att:(att s.base cfg_base) units trace;
+    bb_compressed = row13.compressed;
+    sb_compressed =
+      Fetch.Superblock.run ~model:Fetch.Config.Compressed ~cfg
+        ~scheme:s.full ~att:(att s.full cfg) units trace;
+  }
+
+let superblocks ?jobs () = sweep ?jobs superblocks_for
 
 let clear_cache () =
-  Hashtbl.reset scheme_cache;
-  Hashtbl.reset fig13_cache
+  Hashtbl.reset (Domain.DLS.get scheme_cache_key);
+  Hashtbl.reset (Domain.DLS.get fig13_cache_key)

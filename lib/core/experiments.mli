@@ -1,10 +1,17 @@
 (** Reproduction drivers, one per table/figure of the paper's evaluation.
 
     Every function returns structured rows; the bench harness and the CLI
-    render them.  All results are memoized per process through
-    {!Workload_run} and {!schemes_of}. *)
+    render them.  All results are memoized per domain through
+    {!Workload_run} and {!schemes_of}.
 
-(** All encoding schemes built for one workload, memoized. *)
+    Each driver takes [?jobs] and distributes the workload sweep over a
+    {!Parallel} pool ([jobs] defaults to [Parallel.default_jobs ()], i.e.
+    the [CCCS_JOBS] environment variable, else sequential).  The row
+    functions are deterministic, so parallel output is identical to the
+    sequential run; workloads are loaded inside the worker, so each domain
+    compiles and memoizes its own share. *)
+
+(** All encoding schemes built for one workload, memoized per domain. *)
 type schemes = {
   base : Encoding.Scheme.t;
   byte : Encoding.Scheme.t;
@@ -26,7 +33,10 @@ type fig5_row = {
   ratios : (string * float) list;  (** scheme name -> ratio vs baseline *)
 }
 
-val fig5 : unit -> fig5_row list
+(** [fig5_for r] — one row; exported for the perf bench and tests. *)
+val fig5_for : Workload_run.run -> fig5_row
+
+val fig5 : ?jobs:int -> unit -> fig5_row list
 
 (** {1 Figure 7 — total code size with the ATT, and ATB behaviour} *)
 
@@ -38,7 +48,7 @@ type fig7_row = {
   atb_miss_rate : float;  (** ATB misses per block visit (full scheme run) *)
 }
 
-val fig7 : unit -> fig7_row list
+val fig7 : ?jobs:int -> unit -> fig7_row list
 
 (** {1 Figure 10 — Huffman decoder complexity} *)
 
@@ -47,7 +57,7 @@ type fig10_row = {
   decoders : (string * Encoding.Scheme.decoder_info) list;
 }
 
-val fig10 : unit -> fig10_row list
+val fig10 : ?jobs:int -> unit -> fig10_row list
 
 (** {1 Figure 13 — instructions delivered per cycle} *)
 
@@ -59,7 +69,11 @@ type fig13_row = {
   tailored : Fetch.Sim.result;
 }
 
-val fig13 : unit -> fig13_row list
+(** [fig13_for r] — one row, memoized per domain; exported for the perf
+    bench and tests. *)
+val fig13_for : Workload_run.run -> fig13_row
+
+val fig13 : ?jobs:int -> unit -> fig13_row list
 
 (** {1 Figure 14 — memory bus bit flips} *)
 
@@ -68,7 +82,7 @@ type fig14_row = {
   flips : (string * int) list;  (** model -> total flips *)
 }
 
-val fig14 : unit -> fig14_row list
+val fig14 : ?jobs:int -> unit -> fig14_row list
 
 (** {1 Ablation — decompress at hit time vs at miss time}
 
@@ -83,7 +97,7 @@ type ablation_row = {
   miss_time : Fetch.Sim.result;  (** CodePack-style alternative *)
 }
 
-val ablation : unit -> ablation_row list
+val ablation : ?jobs:int -> unit -> ablation_row list
 
 (** {1 Extension — branch predictor study (the paper's future work)}
 
@@ -96,7 +110,7 @@ type predictor_row = {
   gshare : Fetch.Sim.result;  (** 12 history bits *)
 }
 
-val predictors : unit -> predictor_row list
+val predictors : ?jobs:int -> unit -> predictor_row list
 
 (** {1 Extension — superblock fetch units (the paper's future work)}
 
@@ -113,7 +127,8 @@ type superblock_row = {
   sb_compressed : Fetch.Sim.result;
 }
 
-val superblocks : unit -> superblock_row list
+val superblocks : ?jobs:int -> unit -> superblock_row list
 
-(** [clear_cache ()] — reset all memoized results (tests). *)
+(** [clear_cache ()] — reset the calling domain's memoized results
+    (tests, cold-cache benchmarking). *)
 val clear_cache : unit -> unit

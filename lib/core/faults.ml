@@ -309,64 +309,79 @@ let scheme_seed base name =
   String.iter (fun c -> h := (!h * 131) + Char.code c) name;
   if !h = 0 then 1 else !h
 
-let campaign_schemes (s : Experiments.schemes) =
-  [ ("base", s.Experiments.base); ("byte", s.Experiments.byte) ]
+(* The campaign scheme set by name only: parallel workers look the actual
+   scheme values up in their own domain-local Experiments memo, so a
+   lazily-built decode table is never shared across domains. *)
+let campaign_names =
+  [ "base"; "byte" ]
   @ List.filter
-      (fun (n, _) -> n = "stream" || n = "stream_1")
-      s.Experiments.streams
-  @ [ ("full", s.Experiments.full); ("tailored", s.Experiments.tailored) ]
+      (fun n -> n = "stream" || n = "stream_1")
+      (List.map fst Encoding.Stream_huffman.configs)
+  @ [ "full"; "tailored" ]
 
-let run ?obs spec =
+let scheme_by_name (s : Experiments.schemes) name =
+  match name with
+  | "base" -> s.Experiments.base
+  | "byte" -> s.Experiments.byte
+  | "full" -> s.Experiments.full
+  | "tailored" -> s.Experiments.tailored
+  | n -> List.assoc n s.Experiments.streams
+
+let run ?obs ?jobs spec =
   let entry =
     match Workloads.Suite.find spec.bench with
     | Some e -> e
     | None -> failwith (Printf.sprintf "Faults.run: unknown bench %S" spec.bench)
   in
-  let r = Workload_run.load entry in
-  let s = Experiments.schemes_of r in
-  let prog = r.Workload_run.compiled.Pipeline.program in
-  let trace = r.Workload_run.exec.Emulator.Exec.trace in
-  let baseline_bits = s.Experiments.base.Encoding.Scheme.code_bits in
-  let reference b = Tepic.Program.block_ops (Tepic.Program.block prog b) in
-  let rows =
-    List.map
-      (fun (name, sc) ->
-        let rng = Rng.create (scheme_seed spec.seed name) in
-        let sc_p = Encoding.Scheme.protect spec.protection sc in
-        Cccs_obs.Sink.timed ?obs ~stage:Cccs_obs.Event.Simulate
-          ~label:("faults:" ^ name)
-        @@ fun () ->
-        let rom = rom_campaign ?obs rng ~flips:spec.flips sc_p reference in
-        let table =
-          table_campaign ?obs rng ~flips:spec.flips
-            ~protection:spec.protection sc_p
-        in
-        let cache, clean_cycles, faulty_cycles =
-          cache_campaign ?obs rng ~flips:spec.flips ~retries:spec.retries
-            (name, sc_p) prog trace
-        in
-        {
-          scheme = name;
-          protection = spec.protection;
-          ratio = Encoding.Scheme.ratio sc_p ~baseline_bits;
-          protection_overhead =
-            float_of_int
-              (sc_p.Encoding.Scheme.code_bits - sc.Encoding.Scheme.code_bits)
-            /. float_of_int sc.Encoding.Scheme.code_bits;
-          rom;
-          table;
-          cache;
-          clean_cycles;
-          faulty_cycles;
-        })
-      (campaign_schemes s)
+  (* Each row derives everything it needs inside its own domain (the
+     workload and scheme memos are domain-local), and each row has its own
+     decorrelated RNG stream, so the report is identical at any job
+     count.  A shared sink cannot take concurrent emitters: obs forces the
+     rows sequential. *)
+  let row name =
+    let r = Workload_run.load entry in
+    let s = Experiments.schemes_of r in
+    let prog = r.Workload_run.compiled.Pipeline.program in
+    let trace = r.Workload_run.exec.Emulator.Exec.trace in
+    let baseline_bits = s.Experiments.base.Encoding.Scheme.code_bits in
+    let reference b = Tepic.Program.block_ops (Tepic.Program.block prog b) in
+    let sc = scheme_by_name s name in
+    let rng = Rng.create (scheme_seed spec.seed name) in
+    let sc_p = Encoding.Scheme.protect spec.protection sc in
+    Cccs_obs.Sink.timed ?obs ~stage:Cccs_obs.Event.Simulate
+      ~label:("faults:" ^ name)
+    @@ fun () ->
+    let rom = rom_campaign ?obs rng ~flips:spec.flips sc_p reference in
+    let table =
+      table_campaign ?obs rng ~flips:spec.flips ~protection:spec.protection
+        sc_p
+    in
+    let cache, clean_cycles, faulty_cycles =
+      cache_campaign ?obs rng ~flips:spec.flips ~retries:spec.retries
+        (name, sc_p) prog trace
+    in
+    {
+      scheme = name;
+      protection = spec.protection;
+      ratio = Encoding.Scheme.ratio sc_p ~baseline_bits;
+      protection_overhead =
+        float_of_int
+          (sc_p.Encoding.Scheme.code_bits - sc.Encoding.Scheme.code_bits)
+        /. float_of_int sc.Encoding.Scheme.code_bits;
+      rom;
+      table;
+      cache;
+      clean_cycles;
+      faulty_cycles;
+    }
   in
-  { spec; rows }
+  let jobs = match obs with Some _ -> Some 1 | None -> jobs in
+  { spec; rows = Parallel.map ?jobs row campaign_names }
 
 let silent_total row =
   row.rom.silent + row.table.silent + row.cache.silent
 
-let sweep ~bench ~seed ~retries ~protection ~per_kilobit =
+let sweep ?jobs ~bench ~seed ~retries ~protection ~per_kilobit () =
   let entry =
     match Workloads.Suite.find bench with
     | Some e -> e
@@ -377,7 +392,9 @@ let sweep ~bench ~seed ~retries ~protection ~per_kilobit =
   let kilobits =
     float_of_int s.Experiments.full.Encoding.Scheme.code_bits /. 1000.
   in
-  List.map
+  (* Densities fan out across the pool; the inner [run] then degrades to
+     sequential inside a worker (nested-parallelism guard). *)
+  Parallel.map ?jobs
     (fun density ->
       let flips =
         max 1 (int_of_float (Float.round (density *. kilobits)))

@@ -67,27 +67,37 @@ type spec = {
 
 type t = { spec : spec; rows : scheme_report list }
 
-(** [run ?obs spec] — campaign over base, byte, stream, stream_1, full and
-    tailored.  Raises [Failure] on an unknown bench name.
+(** [run ?obs ?jobs spec] — campaign over base, byte, stream, stream_1,
+    full and tailored.  Raises [Failure] on an unknown bench name.
+
+    The per-scheme campaigns run on a {!Parallel} pool ([jobs] defaults to
+    [Parallel.default_jobs ()]); every scheme has its own decorrelated RNG
+    stream and derives its inputs inside its worker domain, so the report
+    is identical at any job count.  Passing [obs] forces the rows
+    sequential — a shared sink cannot accept concurrent emitters.
 
     [obs] receives one wall-clock span per scheme campaign plus the
     per-trial injection/verdict stream: [Fault_inject] / [Fault_detect] /
     [Fault_silent] / [Fault_benign] events tagged with the surface ("rom",
     "table") and, through {!Fetch.Sim}, the full recovery episodes of the
     cache surface. *)
-val run : ?obs:Cccs_obs.Sink.t -> spec -> t
+val run : ?obs:Cccs_obs.Sink.t -> ?jobs:int -> spec -> t
 
 (** [silent_total row] — silent corruptions summed over all three
     surfaces (the CI gate checks this is 0 in protected mode). *)
 val silent_total : scheme_report -> int
 
-(** [sweep ~bench ~seed ~retries ~protection ~per_kilobit] — one campaign
-    per flip density; the trial count for density [d] is [d] flips per
-    kilobit of the full scheme's code segment. *)
+(** [sweep ?jobs ~bench ~seed ~retries ~protection ~per_kilobit ()] — one
+    campaign per flip density; the trial count for density [d] is [d]
+    flips per kilobit of the full scheme's code segment.  Densities fan
+    out over the {!Parallel} pool; the nested per-scheme parallelism of
+    {!run} degrades to sequential inside a worker. *)
 val sweep :
+  ?jobs:int ->
   bench:string ->
   seed:int ->
   retries:int ->
   protection:Encoding.Scheme.protection ->
   per_kilobit:float list ->
+  unit ->
   (float * t) list

@@ -1,0 +1,84 @@
+(* Domain-parallel map with deterministic results.
+
+   The experiment sweeps are embarrassingly parallel across workloads (and
+   the fault campaigns across schemes), so the engine is deliberately
+   small: a fixed pool of worker domains per call, a static round-robin
+   partition of the items, results gathered into a slot array and returned
+   in input order.  Nothing about the schedule can leak into the output —
+   worker w always computes exactly the items [i | i mod jobs = w], and the
+   gather re-reads the array left to right — so a parallel sweep is
+   bit-identical to the sequential one as long as [f] itself is
+   deterministic.  The differential tests make that a hard invariant.
+
+   Determinism rules for tasks:
+   - [f] must not touch caller-domain memo tables.  The per-process caches
+     (Workload_run, Experiments) are domain-local (DLS), so each worker
+     builds its own schemes — a deliberate trade of duplicated construction
+     for zero shared mutable state (Canonical decode tables are lazily
+     built mutable fields and must never be shared across domains).
+   - [f] must not emit telemetry to a shared sink; callers pass [~jobs:1]
+     when an observer is installed.
+   - Nested parallel regions degrade to sequential (the worker flag below),
+     so a parallel campaign calling a parallel sweep cannot oversubscribe
+     the machine or deadlock the pool. *)
+
+let max_jobs = 64
+
+(* Set while a domain is executing pool work (including the caller domain
+   running its own share); any Parallel.map issued from such a context runs
+   sequentially in place. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let default_jobs () =
+  match Sys.getenv_opt "CCCS_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n max_jobs
+      | Some _ | None -> 1)
+
+let sequential f xs = List.map f xs
+
+let map ?jobs f xs =
+  let jobs =
+    match jobs with Some j -> max 1 (min j max_jobs) | None -> default_jobs ()
+  in
+  let n = List.length xs in
+  let jobs = min jobs n in
+  if jobs <= 1 || Domain.DLS.get in_worker then sequential f xs
+  else begin
+    let items = Array.of_list xs in
+    let slots = Array.make n None in
+    (* Worker [w] owns items [w, w + jobs, w + 2*jobs, ...].  The first
+       failure (by item index) is re-raised after every domain has joined,
+       so a crash cannot strand a running domain. *)
+    let failures = Array.make jobs None in
+    let body w () =
+      Domain.DLS.set in_worker true;
+      let i = ref w in
+      (try
+         while !i < n do
+           slots.(!i) <- Some (f items.(!i));
+           i := !i + jobs
+         done
+       with e -> failures.(w) <- Some (!i, e, Printexc.get_raw_backtrace ()));
+      Domain.DLS.set in_worker false
+    in
+    let pool = Array.init (jobs - 1) (fun w -> Domain.spawn (body (w + 1))) in
+    body 0 ();
+    Array.iter Domain.join pool;
+    let first_failure =
+      Array.fold_left
+        (fun acc fail ->
+          match (acc, fail) with
+          | None, f -> f
+          | Some (i, _, _), Some (j, _, _) when j < i -> fail
+          | _ -> acc)
+        None failures
+    in
+    (match first_failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) slots)
+  end

@@ -1,0 +1,32 @@
+(** Deterministic domain-parallel mapping for the experiment sweeps.
+
+    [map f xs] distributes [xs] over a fixed pool of worker domains with a
+    static round-robin partition and gathers results in input order, so the
+    output is independent of scheduling — bit-identical to
+    [List.map f xs] whenever [f] is deterministic.  The pool size comes
+    from the [CCCS_JOBS] environment variable unless overridden; [1] (the
+    default when the variable is unset or unparsable) falls back to a plain
+    sequential [List.map] in the calling domain, preserving its memo
+    caches and observability exactly.
+
+    Tasks must be domain-safe: the per-process memo tables
+    ({!Workload_run}, {!Experiments}) are domain-local, so each worker
+    constructs its own schemes rather than sharing lazily-mutated decode
+    state across domains.  Callers with an observability sink installed
+    must pass [~jobs:1] — a shared sink cannot accept concurrent emitters.
+
+    Calls issued from inside a worker (nested parallelism) run
+    sequentially in place. *)
+
+(** Hard cap on the pool size (64). *)
+val max_jobs : int
+
+(** [default_jobs ()] — the [CCCS_JOBS] environment variable clamped to
+    [\[1, max_jobs\]]; [1] when unset or unparsable. *)
+val default_jobs : unit -> int
+
+(** [map ?jobs f xs] — ordered parallel map.  [jobs] defaults to
+    [default_jobs ()].  If any application of [f] raises, every worker is
+    joined first and then the failure with the smallest item index is
+    re-raised. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -5,7 +5,12 @@ type run = {
   exec : Emulator.Exec.result;
 }
 
-let cache : (string, run) Hashtbl.t = Hashtbl.create 17
+(* Domain-local: each worker domain of a parallel sweep memoizes its own
+   runs, so the table is never written from two domains (see Parallel). *)
+let cache_key : (string, run) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 17)
+
+let cache () = Domain.DLS.get cache_key
 
 let calibrate p =
   (* Probe with a 4-iteration hot loop (trip count 3): structure and code
@@ -21,6 +26,7 @@ let calibrate p =
   { p with Workloads.Profile.outer_trips = trips }
 
 let load ?obs (e : Workloads.Suite.entry) =
+  let cache = cache () in
   match Hashtbl.find_opt cache e.Workloads.Suite.name with
   | Some r -> r
   | None ->
@@ -44,4 +50,4 @@ let load ?obs (e : Workloads.Suite.entry) =
 
 let load_spec () = List.map load Workloads.Suite.spec
 let load_all () = List.map load Workloads.Suite.all
-let clear_cache () = Hashtbl.reset cache
+let clear_cache () = Hashtbl.reset (cache ())

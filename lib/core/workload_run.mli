@@ -7,8 +7,10 @@
     iteration with the reference interpreter, and rescales the hot-loop
     trip count before the real run.  Kernels run as written.
 
-    Results are memoized per process: every experiment reuses the same
-    compiled program and trace. *)
+    Results are memoized per domain (domain-local storage): every
+    experiment in a domain reuses the same compiled program and trace, and
+    parallel sweep workers ({!Parallel}) each build their own, so the memo
+    table is never shared across domains. *)
 
 type run = {
   name : string;
@@ -32,5 +34,6 @@ val load_all : unit -> run list
     and the design-space example). *)
 val calibrate : Workloads.Profile.t -> Workloads.Profile.t
 
-(** [clear_cache ()] — drop memoized runs (tests). *)
+(** [clear_cache ()] — drop the calling domain's memoized runs (tests,
+    cold-cache benchmarking). *)
 val clear_cache : unit -> unit

@@ -1,5 +1,6 @@
 type t = {
   max_len : int;
+  lut_ok : bool;  (* LUT-eligible: max_len and symbol range both in bounds *)
   (* Symbols in canonical order. *)
   symbols : int array;
   lengths : int array;
@@ -10,7 +11,43 @@ type t = {
   first_index : int array;
   count_at : int array;
   by_symbol : (int, int) Hashtbl.t;  (* symbol -> canonical index *)
+  mutable table : table option;  (* two-level decode LUT, built on first use *)
 }
+
+(* Two-level lookup table.  The root is indexed by the first
+   [root_bits = min (max_len, 12)] bits of the stream; codewords no longer
+   than that fill every root slot they prefix.  Longer codewords share one
+   sub-table per distinct root-width prefix, indexed by the remaining bits.
+
+   Each level packs a whole entry into ONE int slot — [(sym lsl 6) lor
+   len] — rather than parallel len/sym arrays: a decode indexes the table
+   with effectively random bits, so the structure is latency-bound, and
+   one packed slot per lookup means one cache access per level and a
+   2^12-entry root of 32 KB instead of 64.  Slot encoding: > 0 — a
+   codeword ends here ([land 0x3f] is its length, [lsr 6] its symbol);
+   0 — no codeword has this prefix (the code is incomplete); < 0 in the
+   root — continue in [subs.(-slot - 1)].  The packing is why [lut_ok]
+   requires every symbol to fit 56 bits (and lengths are <= lut_max_len
+   <= 28 on this path, well under the 6-bit length field). *)
+and table = {
+  root_bits : int;
+  root_shift : int;  (* max_len - root_bits: root index from a max_len peek *)
+  root : int array;  (* 1 lsl root_bits packed slots *)
+  subs : sub array;
+}
+
+and sub = {
+  sub_bits : int;
+  sub_shift : int;  (* max_len - root_bits - sub_bits *)
+  sub_mask : int;  (* (1 lsl sub_bits) - 1 *)
+  sub_tab : int array;  (* 1 lsl sub_bits packed slots *)
+}
+
+(* LUT size policy.  Codes longer than [lut_max_len] never build a table
+   (a hostile 61-bit code would need a 2^49-entry sub-table); every
+   codebook the schemes build stays far below the cap. *)
+let root_bits_max = 12
+let lut_max_len = 28
 
 let of_lengths lens =
   if lens = [] then invalid_arg "Canonical.of_lengths: empty";
@@ -63,7 +100,12 @@ let of_lengths lens =
         first_index.(l) <- i
       end)
     lengths;
-  { max_len; symbols; lengths; codes; first_code; first_index; count_at; by_symbol }
+  let lut_ok =
+    max_len <= lut_max_len
+    && Array.for_all (fun s -> s >= 0 && s lsr 56 = 0) symbols
+  in
+  { max_len; lut_ok; symbols; lengths; codes; first_code; first_index;
+    count_at; by_symbol; table = None }
 
 let index t symbol =
   match Hashtbl.find_opt t.by_symbol symbol with
@@ -80,44 +122,193 @@ let write t w symbol =
   let bits, len = code t symbol in
   Bits.Writer.add_bits w ~width:len bits
 
-let read t r =
-  let acc = ref 0 and len = ref 0 in
-  let result = ref None in
-  while !result = None do
-    if !len >= t.max_len then invalid_arg "Canonical.read: invalid code";
-    acc := (!acc lsl 1) lor (if Bits.Reader.read_bit r then 1 else 0);
-    incr len;
-    let l = !len in
-    if t.first_code.(l) >= 0 then begin
-      let offset = !acc - t.first_code.(l) in
-      if offset >= 0 && offset < t.count_at.(l) then
-        result := Some t.symbols.(t.first_index.(l) + offset)
+(* ------------------------------------------------------------------ *)
+(* Bit-serial decode: the first-code-per-length reference the LUT path is
+   differentially tested against, and the fallback near the end of a
+   stream.  Straight-line recursion — no option cell or polymorphic
+   compare per bit. *)
+
+let rec serial_step t r acc len =
+  if len >= t.max_len then invalid_arg "Canonical.read: invalid code"
+  else begin
+    let acc = (acc lsl 1) lor (if Bits.Reader.read_bit r then 1 else 0) in
+    let len = len + 1 in
+    let fc = Array.unsafe_get t.first_code len in
+    let off = acc - fc in
+    if fc >= 0 && off >= 0 && off < Array.unsafe_get t.count_at len then
+      Array.unsafe_get t.symbols (Array.unsafe_get t.first_index len + off)
+    else serial_step t r acc len
+  end
+
+let read_serial t r = serial_step t r 0 0
+
+let rec serial_opt_step t r start acc len =
+  if len >= t.max_len || Bits.Reader.remaining r = 0 then begin
+    Bits.Reader.seek r start;
+    None
+  end
+  else begin
+    let acc = (acc lsl 1) lor (if Bits.Reader.read_bit r then 1 else 0) in
+    let len = len + 1 in
+    let fc = Array.unsafe_get t.first_code len in
+    let off = acc - fc in
+    if fc >= 0 && off >= 0 && off < Array.unsafe_get t.count_at len then
+      Some (Array.unsafe_get t.symbols (Array.unsafe_get t.first_index len + off))
+    else serial_opt_step t r start acc len
+  end
+
+let read_serial_opt t r = serial_opt_step t r (Bits.Reader.pos r) 0 0
+
+(* ------------------------------------------------------------------ *)
+(* LUT construction.  [lut_ok] requires symbols in [0, 2^56) so the packed
+   slot [(sym lsl 6) lor len] cannot collide or overflow. *)
+
+let build_table t =
+  let k = min t.max_len root_bits_max in
+  let root = Array.make (1 lsl k) 0 in
+  let n = Array.length t.symbols in
+  (* Pass 1: short codes fill every root slot they prefix; long codes
+     record the widest suffix each root prefix must resolve. *)
+  let sub_width : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let l = t.lengths.(i) and c = t.codes.(i) in
+    if l <= k then begin
+      let packed = (t.symbols.(i) lsl 6) lor l in
+      let base = c lsl (k - l) in
+      for idx = base to base + (1 lsl (k - l)) - 1 do
+        root.(idx) <- packed
+      done
+    end
+    else begin
+      let p = c lsr (l - k) in
+      let cur = try Hashtbl.find sub_width p with Not_found -> 0 in
+      if l - k > cur then Hashtbl.replace sub_width p (l - k)
     end
   done;
-  match !result with Some s -> s | None -> assert false
+  (* Pass 2: allocate sub-tables in prefix order (deterministic layout)
+     and point their root slots at them. *)
+  let prefixes =
+    List.sort compare
+      (Hashtbl.fold (fun p w acc -> (p, w) :: acc) sub_width [])
+  in
+  let subs =
+    Array.of_list
+      (List.map
+         (fun (_, w) ->
+           { sub_bits = w;
+             sub_shift = t.max_len - k - w;
+             sub_mask = (1 lsl w) - 1;
+             sub_tab = Array.make (1 lsl w) 0 })
+         prefixes)
+  in
+  List.iteri (fun si (p, _) -> root.(p) <- -si - 1) prefixes;
+  (* Pass 3: long codes fill every slot of their sub-table they prefix. *)
+  for i = 0 to n - 1 do
+    let l = t.lengths.(i) and c = t.codes.(i) in
+    if l > k then begin
+      let p = c lsr (l - k) in
+      let s = subs.(-root.(p) - 1) in
+      let packed = (t.symbols.(i) lsl 6) lor l in
+      let suffix = c land ((1 lsl (l - k)) - 1) in
+      let base = suffix lsl (s.sub_bits - (l - k)) in
+      for idx = base to base + (1 lsl (s.sub_bits - (l - k))) - 1 do
+        s.sub_tab.(idx) <- packed
+      done
+    end
+  done;
+  { root_bits = k; root_shift = t.max_len - k; root; subs }
+
+let table t =
+  match t.table with
+  | Some tb -> tb
+  | None ->
+      if not t.lut_ok then
+        invalid_arg
+          "Canonical.table: code not LUT-eligible (max length or symbol range)";
+      let tb = build_table t in
+      t.table <- Some tb;
+      tb
+
+let table_built t = t.table <> None
+
+(* The LUT path requires [max_len] bits in the stream, so truncation is
+   impossible mid-lookup and the error behaviour below reproduces the
+   serial loop exactly: an unmatched prefix consumes [max_len] bits before
+   raising (read) or leaves the cursor at the symbol start (read_opt).
+
+   One [max_len]-wide peek serves both levels: the root index is its top
+   [root_bits], a sub-table index is the [sub_bits] that follow (the
+   remaining-bits gate makes the unchecked peek/advance pair legal, and
+   max_len <= lut_max_len <= 28 keeps the peek inside one word load). *)
+
+let read t r =
+  let max_len = t.max_len in
+  if not t.lut_ok || Bits.Reader.remaining r < max_len then read_serial t r
+  else begin
+    let tb = match t.table with Some tb -> tb | None -> table t in
+    let w = Bits.Reader.unsafe_peek_bits r ~width:max_len in
+    let v = Array.unsafe_get tb.root (w lsr tb.root_shift) in
+    if v > 0 then begin
+      Bits.Reader.unsafe_advance r (v land 0x3f);
+      v lsr 6
+    end
+    else if v = 0 then begin
+      Bits.Reader.unsafe_advance r max_len;
+      invalid_arg "Canonical.read: invalid code"
+    end
+    else begin
+      let s = Array.unsafe_get tb.subs (-v - 1) in
+      let v2 =
+        Array.unsafe_get s.sub_tab ((w lsr s.sub_shift) land s.sub_mask)
+      in
+      if v2 > 0 then begin
+        Bits.Reader.unsafe_advance r (v2 land 0x3f);
+        v2 lsr 6
+      end
+      else begin
+        Bits.Reader.unsafe_advance r max_len;
+        invalid_arg "Canonical.read: invalid code"
+      end
+    end
+  end
 
 let read_opt t r =
-  let start = Bits.Reader.pos r in
-  let acc = ref 0 and len = ref 0 in
-  let result = ref None in
-  let dead = ref false in
-  while !result = None && not !dead do
-    if !len >= t.max_len then dead := true
-    else
-      match Bits.Reader.read_bit_opt r with
-      | None -> dead := true
-      | Some b ->
-          acc := (!acc lsl 1) lor (if b then 1 else 0);
-          incr len;
-          let l = !len in
-          if t.first_code.(l) >= 0 then begin
-            let offset = !acc - t.first_code.(l) in
-            if offset >= 0 && offset < t.count_at.(l) then
-              result := Some t.symbols.(t.first_index.(l) + offset)
-          end
-  done;
-  if !result = None then Bits.Reader.seek r start;
-  !result
+  let max_len = t.max_len in
+  if not t.lut_ok || Bits.Reader.remaining r < max_len then
+    read_serial_opt t r
+  else begin
+    let tb = match t.table with Some tb -> tb | None -> table t in
+    let w = Bits.Reader.unsafe_peek_bits r ~width:max_len in
+    let v = Array.unsafe_get tb.root (w lsr tb.root_shift) in
+    if v > 0 then begin
+      Bits.Reader.unsafe_advance r (v land 0x3f);
+      Some (v lsr 6)
+    end
+    else if v = 0 then None
+    else begin
+      let s = Array.unsafe_get tb.subs (-v - 1) in
+      let v2 =
+        Array.unsafe_get s.sub_tab ((w lsr s.sub_shift) land s.sub_mask)
+      in
+      if v2 > 0 then begin
+        Bits.Reader.unsafe_advance r (v2 land 0x3f);
+        Some (v2 lsr 6)
+      end
+      else None
+    end
+  end
+
+module Table = struct
+  type t = table
+
+  let root_bits tb = tb.root_bits
+  let sub_count tb = Array.length tb.subs
+
+  let entries tb =
+    Array.fold_left
+      (fun a s -> a + Array.length s.sub_tab)
+      (Array.length tb.root) tb.subs
+end
 
 let entries t = Array.length t.symbols
 let max_length t = t.max_len

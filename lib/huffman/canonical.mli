@@ -2,9 +2,16 @@
 
     Given code lengths (from {!Tree} or {!Package_merge}), assigns the
     canonical codewords: symbols sorted by (length, symbol value) receive
-    consecutive codes.  Canonical codes decode with the compact
-    first-code-per-length method, which also mirrors the row-per-level
-    structure of the paper's Huffman tree decoder (Figure 9). *)
+    consecutive codes.
+
+    Decoding runs through a two-level lookup table ({!Table}) built lazily
+    per code: one word-wise peek resolves codewords up to
+    [min (max_length, 12)] bits in a single root lookup, and longer codes
+    finish in one sub-table lookup.  The compact first-code-per-length
+    method — which mirrors the row-per-level structure of the paper's
+    Huffman tree decoder (Figure 9) — remains as {!read_serial}, the
+    differential reference and the fallback near the end of a stream.
+    Both paths produce identical symbols, cursor positions and errors. *)
 
 type t
 
@@ -22,7 +29,8 @@ val mem : t -> int -> bool
 (** [write t w symbol] appends the codeword for [symbol]. *)
 val write : t -> Bits.Writer.t -> int -> unit
 
-(** [read t r] decodes one symbol from the reader.
+(** [read t r] decodes one symbol from the reader (table-driven when at
+    least [max_length t] bits remain, bit-serial otherwise).
     Raises [Invalid_argument] on a code not in the alphabet (possible only
     for non-complete codes) or a truncated stream. *)
 val read : t -> Bits.Reader.t -> int
@@ -31,6 +39,44 @@ val read : t -> Bits.Reader.t -> int
     a codepoint outside the alphabet or a truncated stream, with the cursor
     restored to where the symbol started. *)
 val read_opt : t -> Bits.Reader.t -> int option
+
+(** [read_serial t r] — the bit-serial first-code-per-length decoder:
+    byte-identical behaviour to {!read} (symbols, cursor motion, error
+    messages and error positions) but one {!Bits.Reader.read_bit} per code
+    bit.  Kept as the differential reference for the LUT path and used by
+    {!read} itself when fewer than [max_length t] bits remain. *)
+val read_serial : t -> Bits.Reader.t -> int
+
+(** [read_serial_opt t r] — total bit-serial variant; reference for
+    {!read_opt}. *)
+val read_serial_opt : t -> Bits.Reader.t -> int option
+
+(** The two-level decode table behind {!read}. *)
+module Table : sig
+  type t
+
+  val root_bits : t -> int
+  (** Index width of the root table, [min (max_length, 12)]. *)
+
+  val sub_count : t -> int
+  (** Number of overflow sub-tables (one per root-width prefix shared by
+      codes longer than [root_bits]). *)
+
+  val entries : t -> int
+  (** Total slots across the root and every sub-table. *)
+end
+
+(** [table t] — the code's decode table, built on first use and memoized.
+    The memo is a plain mutable field: codes must not be shared across
+    domains (the experiment drivers build schemes per domain).
+    Raises [Invalid_argument] when the code is not LUT-eligible — a max
+    length over 28 bits or a symbol outside [0, 2^56) (either would
+    overflow the packed table slots); {!read} on such a code silently
+    stays bit-serial instead. *)
+val table : t -> Table.t
+
+(** [table_built t] — whether the lazy table has been materialized. *)
+val table_built : t -> bool
 
 val entries : t -> int
 val max_length : t -> int

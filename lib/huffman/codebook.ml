@@ -70,6 +70,8 @@ let mem t sym = Canonical.mem t.canonical sym
 let write t w sym = Canonical.write t.canonical w sym
 let read t r = Canonical.read t.canonical r
 let read_opt t r = Canonical.read_opt t.canonical r
+let read_serial t r = Canonical.read_serial t.canonical r
+let read_serial_opt t r = Canonical.read_serial_opt t.canonical r
 let canonical t = t.canonical
 
 let decoder_transistors t =

@@ -41,6 +41,14 @@ val read : t -> Bits.Reader.t -> int
     the alphabet or a truncated stream (cursor restored), so corrupted
     streams are detected without an exception crossing the decode path. *)
 val read_opt : t -> Bits.Reader.t -> int option
+
+(** [read_serial t r] / [read_serial_opt t r] — the bit-serial reference
+    decoders (see {!Canonical.read_serial}): identical behaviour to
+    {!read}/{!read_opt}, one bit at a time.  Used by the differential
+    tests and the decode-throughput benchmark baseline. *)
+val read_serial : t -> Bits.Reader.t -> int
+
+val read_serial_opt : t -> Bits.Reader.t -> int option
 val canonical : t -> Canonical.t
 
 (** [decoder_transistors t] evaluates the paper's worst-case decoder cost

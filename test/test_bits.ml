@@ -167,6 +167,95 @@ let prop_seek_remaining =
           && Bits.Reader.pos r = s + width)
         (List.rev starts))
 
+(* The word-wise decode idiom law: [peek_bits] reads what [read_bits]
+   would, without moving the cursor, and [advance] then consumes it.
+   Past the end of the stream peeked bits are zero, i.e. the result is
+   the remaining bits left-shifted into the high positions. *)
+let prop_peek_advance_vs_read =
+  let gen =
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 0 40) (int_range 0 255))
+        (int_range 0 56) (int_range 0 500))
+  in
+  QCheck.Test.make ~name:"peek_bits/advance = read_bits incl. zero padding"
+    ~count:500 (QCheck.make gen) (fun (bytes, width, posr) ->
+      let arr = Array.of_list bytes in
+      let s = String.init (Array.length arr) (fun i -> Char.chr arr.(i)) in
+      let r = Bits.Reader.of_string s in
+      let len = Bits.Reader.length r in
+      let p = posr mod (len + 1) in
+      Bits.Reader.seek r p;
+      let peeked = Bits.Reader.peek_bits r ~width in
+      let unmoved = Bits.Reader.pos r = p in
+      (* Reference: bit-serial read of the in-stream part, zero-padded. *)
+      let avail = min width (len - p) in
+      let r2 = Bits.Reader.of_string s in
+      Bits.Reader.seek r2 p;
+      let v = ref 0 in
+      for _ = 1 to avail do
+        v := (!v lsl 1) lor (if Bits.Reader.read_bit r2 then 1 else 0)
+      done;
+      let expect = !v lsl (width - avail) in
+      Bits.Reader.advance r avail;
+      unmoved && peeked = expect && Bits.Reader.pos r = p + avail)
+
+(* The blit fast path of add_string agrees with the per-byte add_bits
+   reference at every alignment (0-7 leading bits). *)
+let prop_add_string_any_alignment =
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 0 7) (list_size (int_range 0 64) (int_range 0 255)))
+  in
+  QCheck.Test.make ~name:"add_string = per-byte add_bits at any alignment"
+    ~count:300 (QCheck.make gen) (fun (lead, bytes) ->
+      let arr = Array.of_list bytes in
+      let s = String.init (Array.length arr) (fun i -> Char.chr arr.(i)) in
+      let w1 = Bits.Writer.create () and w2 = Bits.Writer.create () in
+      for k = 1 to lead do
+        Bits.Writer.add_bit w1 (k land 1 = 1);
+        Bits.Writer.add_bit w2 (k land 1 = 1)
+      done;
+      Bits.Writer.add_string w1 s;
+      String.iter (fun c -> Bits.Writer.add_bits w2 ~width:8 (Char.code c)) s;
+      Bits.Writer.length w1 = Bits.Writer.length w2
+      && Bits.Writer.contents w1 = Bits.Writer.contents w2)
+
+(* The 256-entry CRC byte tables are derived from the bitwise register;
+   this keeps them honest: of_string and of_reader (started at any bit
+   offset, covering the align/table/tail path split) must equal a pure
+   bit-at-a-time fold of update. *)
+let prop_crc_table_vs_bitwise =
+  let gen =
+    QCheck.Gen.(
+      pair (list_size (int_range 0 48) (int_range 0 255)) (int_range 0 23))
+  in
+  QCheck.Test.make ~name:"table CRC = bitwise register (string and reader)"
+    ~count:300 (QCheck.make gen) (fun (bytes, skip) ->
+      let arr = Array.of_list bytes in
+      let s = String.init (Array.length arr) (fun i -> Char.chr arr.(i)) in
+      let total = 8 * String.length s in
+      let skip = if total = 0 then 0 else skip mod total in
+      List.for_all
+        (fun (width, poly) ->
+          let bitwise from nbits =
+            let r = Bits.Reader.of_string s in
+            Bits.Reader.seek r from;
+            let crc = ref 0 in
+            for _ = 1 to nbits do
+              crc := Bits.Crc.update ~width ~poly !crc (Bits.Reader.read_bit r)
+            done;
+            !crc
+          in
+          let whole = Bits.Crc.of_string ~width ~poly s in
+          let r = Bits.Reader.of_string s in
+          Bits.Reader.seek r skip;
+          let tail = Bits.Crc.of_reader ~width ~poly r ~nbits:(total - skip) in
+          whole = bitwise 0 total
+          && tail = bitwise skip (total - skip)
+          && Bits.Reader.pos r = total)
+        [ (8, Bits.Crc.crc8_poly); (16, Bits.Crc.crc16_poly) ])
+
 let prop_bits_needed_sufficient =
   QCheck.Test.make ~name:"bits_needed covers the range" ~count:500
     QCheck.(int_range 1 1_000_000)
@@ -189,5 +278,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_roundtrip_full_range;
     QCheck_alcotest.to_alcotest prop_align_byte;
     QCheck_alcotest.to_alcotest prop_seek_remaining;
+    QCheck_alcotest.to_alcotest prop_peek_advance_vs_read;
+    QCheck_alcotest.to_alcotest prop_add_string_any_alignment;
+    QCheck_alcotest.to_alcotest prop_crc_table_vs_bitwise;
     QCheck_alcotest.to_alcotest prop_bits_needed_sufficient;
   ]

@@ -16,5 +16,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("validate", Test_validate.suite);
       ("faults", Test_faults.suite);
+      ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
     ]

@@ -130,6 +130,134 @@ let prop_canonical_prefix_free =
             codes)
         codes)
 
+(* --- Table-driven decode vs the bit-serial reference --- *)
+
+(* A canonical code from random frequencies; with [drop] the last
+   (longest, least likely) symbol is removed after tree construction, so
+   the code is incomplete and random inputs can hit invalid codepoints. *)
+let random_code ?(drop = false) syms =
+  let freqs = List.mapi (fun i s -> (s, i + 1)) (List.sort_uniq compare syms) in
+  let depths = Huffman.Tree.depths (Huffman.Tree.build freqs) in
+  let depths =
+    if drop && List.length depths > 2 then
+      match List.sort (fun (_, a) (_, b) -> compare b a) depths with
+      | _ :: rest -> rest
+      | [] -> depths
+    else depths
+  in
+  Huffman.Canonical.of_lengths depths
+
+let gen_alphabet = QCheck.Gen.(list_size (int_range 2 80) (int_range 0 5000))
+
+(* On a valid encoded stream the LUT path must match the serial reference
+   symbol by symbol, including every intermediate cursor position (the
+   stream tail exercises the serial fallback inside [read]). *)
+let prop_lut_decodes_like_serial =
+  let gen =
+    QCheck.Gen.(pair gen_alphabet (list_size (int_range 1 300) (int_range 0 10_000)))
+  in
+  QCheck.Test.make ~name:"table decode = serial decode on valid streams"
+    ~count:200 (QCheck.make gen) (fun (alpha, picks) ->
+      let c = random_code alpha in
+      let table = Array.of_list (List.map (fun (s, _, _) -> s) (Huffman.Canonical.to_list c)) in
+      let n = Array.length table in
+      let syms = List.map (fun p -> table.(p mod n)) picks in
+      let w = Bits.Writer.create () in
+      List.iter (Huffman.Canonical.write c w) syms;
+      let r1 = Bits.Reader.of_string (Bits.Writer.contents w) in
+      let r2 = Bits.Reader.of_string (Bits.Writer.contents w) in
+      List.for_all
+        (fun s ->
+          Huffman.Canonical.read c r1 = s
+          && Huffman.Canonical.read_serial c r2 = s
+          && Bits.Reader.pos r1 = Bits.Reader.pos r2)
+        syms)
+
+(* On arbitrary bytes (incomplete code, so invalid codepoints occur) the
+   two paths must agree on symbols, cursor positions, error positions and
+   the exact error message; the total variants must agree on None and
+   leave the cursor at the symbol start. *)
+let prop_lut_matches_serial_on_noise =
+  let gen =
+    QCheck.Gen.(pair gen_alphabet (list_size (int_range 0 64) (int_range 0 255)))
+  in
+  QCheck.Test.make ~name:"table decode = serial decode on corrupt streams"
+    ~count:300 (QCheck.make gen) (fun (alpha, bytes) ->
+      let c = random_code ~drop:true alpha in
+      let arr = Array.of_list bytes in
+      let s = String.init (Array.length arr) (fun i -> Char.chr arr.(i)) in
+      let step f r =
+        match f c r with
+        | v -> Ok (v, Bits.Reader.pos r)
+        | exception Invalid_argument m -> Error (m, Bits.Reader.pos r)
+      in
+      let r1 = Bits.Reader.of_string s and r2 = Bits.Reader.of_string s in
+      let r3 = Bits.Reader.of_string s and r4 = Bits.Reader.of_string s in
+      let ok = ref true and stop = ref false in
+      while (not !stop) && Bits.Reader.remaining r1 > 0 do
+        (* Raising path. *)
+        let a = step Huffman.Canonical.read r1 in
+        let b = step Huffman.Canonical.read_serial r2 in
+        if a <> b then ok := false;
+        (* Total path: on None both cursors stay at the symbol start. *)
+        let p = Bits.Reader.pos r3 in
+        let oa = Huffman.Canonical.read_opt c r3 in
+        let ob = Huffman.Canonical.read_serial_opt c r4 in
+        if oa <> ob || Bits.Reader.pos r3 <> Bits.Reader.pos r4 then ok := false;
+        (match (a, oa) with
+        | Ok (v, p1), Some v2 ->
+            (* The raising and total paths must deliver the same symbol
+               from the same cursor motion. *)
+            if v <> v2 || p1 <> Bits.Reader.pos r3 then begin
+              ok := false;
+              stop := true
+            end
+        | Error _, None ->
+            if Bits.Reader.pos r3 <> p then ok := false;
+            stop := true
+        | Ok _, None | Error _, Some _ ->
+            ok := false;
+            stop := true)
+      done;
+      !ok)
+
+let test_table_accessors () =
+  (* Lengths 1..13 plus two 14s: a complete code whose max length exceeds
+     the 12-bit root, so decode needs overflow sub-tables. *)
+  let lens =
+    List.init 13 (fun i -> (i, i + 1)) @ [ (100, 14); (101, 14) ]
+  in
+  let c = Huffman.Canonical.of_lengths lens in
+  Alcotest.(check bool) "not built yet" false (Huffman.Canonical.table_built c);
+  let tb = Huffman.Canonical.table c in
+  Alcotest.(check bool) "built" true (Huffman.Canonical.table_built c);
+  check "root bits capped at 12" 12 (Huffman.Canonical.Table.root_bits tb);
+  Alcotest.(check bool) "has sub-tables" true
+    (Huffman.Canonical.Table.sub_count tb >= 1);
+  Alcotest.(check bool) "entries cover the root" true
+    (Huffman.Canonical.Table.entries tb >= 1 lsl 12);
+  (* A code within the root needs no subs. *)
+  let small = Huffman.Canonical.of_lengths [ (0, 1); (1, 2); (2, 2) ] in
+  let stb = Huffman.Canonical.table small in
+  check "small root" 2 (Huffman.Canonical.Table.root_bits stb);
+  check "no subs" 0 (Huffman.Canonical.Table.sub_count stb)
+
+let test_table_symbol_range_gate () =
+  (* Symbols outside [0, 2^56) cannot be packed into table slots: [table]
+     refuses, and [read] silently stays on the serial path. *)
+  let c = Huffman.Canonical.of_lengths [ (1 lsl 60, 1); (7, 1) ] in
+  Alcotest.check_raises "table refuses"
+    (Invalid_argument
+       "Canonical.table: code not LUT-eligible (max length or symbol range)")
+    (fun () -> ignore (Huffman.Canonical.table c));
+  let w = Bits.Writer.create () in
+  List.iter (Huffman.Canonical.write c w) [ 1 lsl 60; 7; 7; 1 lsl 60 ];
+  let r = Bits.Reader.of_string (Bits.Writer.contents w) in
+  List.iter
+    (fun s -> check "serial decode" s (Huffman.Canonical.read c r))
+    [ 1 lsl 60; 7; 7; 1 lsl 60 ];
+  Alcotest.(check bool) "never built" false (Huffman.Canonical.table_built c)
+
 (* --- Package-merge --- *)
 
 let test_package_merge_cap () =
@@ -254,6 +382,9 @@ let suite =
     Alcotest.test_case "canonical: kraft violation" `Quick
       test_canonical_kraft_violation;
     Alcotest.test_case "canonical: read/write" `Quick test_canonical_read_write;
+    Alcotest.test_case "canonical: table accessors" `Quick test_table_accessors;
+    Alcotest.test_case "canonical: symbol-range gate" `Quick
+      test_table_symbol_range_gate;
     Alcotest.test_case "package-merge: cap" `Quick test_package_merge_cap;
     Alcotest.test_case "package-merge: optimal when loose" `Quick
       test_package_merge_matches_huffman_when_loose;
@@ -266,6 +397,8 @@ let suite =
       test_decoder_cost_practical_range;
     QCheck_alcotest.to_alcotest prop_tree_near_entropy;
     QCheck_alcotest.to_alcotest prop_canonical_prefix_free;
+    QCheck_alcotest.to_alcotest prop_lut_decodes_like_serial;
+    QCheck_alcotest.to_alcotest prop_lut_matches_serial_on_noise;
     QCheck_alcotest.to_alcotest prop_package_merge_cap_and_kraft;
     QCheck_alcotest.to_alcotest prop_codebook_roundtrip;
   ]

@@ -1,0 +1,104 @@
+(* Domain-parallel sweep harness: ordering, error propagation, nested
+   degradation, CCCS_JOBS parsing, and parallel = sequential equality on
+   the real experiment and fault-campaign drivers. *)
+
+let check = Alcotest.(check int)
+
+let test_map_matches_list_map () =
+  let xs = List.init 50 (fun i -> i - 7) in
+  let f x = (x * x) - (3 * x) in
+  let expect = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expect
+        (Cccs.Parallel.map ~jobs f xs))
+    [ 1; 2; 3; 8; 64 ]
+
+let test_map_edges () =
+  Alcotest.(check (list int)) "empty" [] (Cccs.Parallel.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Cccs.Parallel.map ~jobs:4 succ [ 1 ]);
+  Alcotest.(check (list int)) "more jobs than items" [ 2; 3 ]
+    (Cccs.Parallel.map ~jobs:16 succ [ 1; 2 ])
+
+let test_map_error_propagates () =
+  (* Items 3.. all fail; the failure with the smallest item index is the
+     one re-raised, at every job count. *)
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "first failing index wins (jobs=%d)" jobs)
+        (Failure "boom3")
+        (fun () ->
+          ignore
+            (Cccs.Parallel.map ~jobs
+               (fun x -> if x >= 3 then failwith (Printf.sprintf "boom%d" x) else x)
+               [ 0; 1; 2; 3; 4; 5; 6; 7 ])))
+    [ 1; 2; 4 ]
+
+let test_nested_degrades () =
+  (* A parallel region inside a worker runs sequentially in place; the
+     result is still the plain nested map. *)
+  let expect =
+    List.map (fun i -> List.map (fun j -> (10 * i) + j) [ 0; 1; 2 ]) [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested" expect
+    (Cccs.Parallel.map ~jobs:2
+       (fun i -> Cccs.Parallel.map ~jobs:2 (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+       [ 1; 2; 3; 4 ])
+
+let test_default_jobs_env () =
+  let with_env v k =
+    Unix.putenv "CCCS_JOBS" v;
+    let r = k () in
+    Unix.putenv "CCCS_JOBS" "";
+    r
+  in
+  check "plain" 3 (with_env "3" Cccs.Parallel.default_jobs);
+  check "trimmed" 5 (with_env " 5 " Cccs.Parallel.default_jobs);
+  check "zero falls back" 1 (with_env "0" Cccs.Parallel.default_jobs);
+  check "negative falls back" 1 (with_env "-4" Cccs.Parallel.default_jobs);
+  check "unparsable falls back" 1 (with_env "lots" Cccs.Parallel.default_jobs);
+  check "clamped to max_jobs" Cccs.Parallel.max_jobs
+    (with_env "9999" Cccs.Parallel.default_jobs)
+
+(* The hard invariant behind every ?jobs parameter: a parallel sweep is
+   structurally identical to the sequential one.  Caches are cleared
+   between runs so the parallel pass cannot coast on memoized rows. *)
+let test_fig5_parallel_equals_sequential () =
+  Cccs.Experiments.clear_cache ();
+  let seq = Cccs.Experiments.fig5 ~jobs:1 () in
+  Cccs.Experiments.clear_cache ();
+  let par = Cccs.Experiments.fig5 ~jobs:2 () in
+  check "same row count" (List.length seq) (List.length par);
+  Alcotest.(check bool) "rows identical" true (seq = par)
+
+let test_faults_parallel_equals_sequential () =
+  let spec =
+    {
+      Cccs.Faults.bench = "fir";
+      seed = 7;
+      flips = 8;
+      retries = 2;
+      protection = Encoding.Scheme.Crc8;
+    }
+  in
+  let seq = Cccs.Faults.run ~jobs:1 spec in
+  let par = Cccs.Faults.run ~jobs:3 spec in
+  Alcotest.(check bool) "campaign reports identical" true (seq = par)
+
+let suite =
+  [
+    Alcotest.test_case "map = List.map at any job count" `Quick
+      test_map_matches_list_map;
+    Alcotest.test_case "map edge cases" `Quick test_map_edges;
+    Alcotest.test_case "map error propagation" `Quick test_map_error_propagates;
+    Alcotest.test_case "nested regions degrade" `Quick test_nested_degrades;
+    Alcotest.test_case "CCCS_JOBS parsing" `Quick test_default_jobs_env;
+    Alcotest.test_case "fig5 sweep: parallel = sequential" `Slow
+      test_fig5_parallel_equals_sequential;
+    Alcotest.test_case "fault campaign: parallel = sequential" `Slow
+      test_faults_parallel_equals_sequential;
+  ]
