@@ -197,10 +197,40 @@ let bench_validate =
   Test.make_grouped ~name:"validate" ~fmt:"%s/%s"
     (tests_of fixture "compress" @ tests_of kernel "fir")
 
+(* Decoder certification: DFA construction + exhaustive totality, LUT and
+   resync proofs per scheme — all static work over the published tables,
+   so its cost is independent of program length and should stay flat. *)
+let bench_certify =
+  let tests_of run wl =
+    let s = lazy (Cccs.Experiments.schemes_of (Lazy.force run)) in
+    let prog =
+      lazy
+        (Lazy.force run).Cccs.Workload_run.compiled.Cccs.Pipeline.program
+    in
+    let check sc_of =
+      Staged.stage (fun () ->
+          Cccs.Analysis.Certify.certify_scheme ~workload:wl
+            ~program:(Lazy.force prog)
+            (sc_of (Lazy.force s)))
+    in
+    List.map
+      (fun (name, sc_of) -> Test.make ~name:(wl ^ ":" ^ name) (check sc_of))
+      [
+        ("base", fun (sl : Cccs.Experiments.schemes) -> sl.Cccs.Experiments.base);
+        ("byte", fun sl -> sl.Cccs.Experiments.byte);
+        ("stream", fun sl -> snd (List.hd sl.Cccs.Experiments.streams));
+        ("full", fun sl -> sl.Cccs.Experiments.full);
+        ("tailored", fun sl -> sl.Cccs.Experiments.tailored);
+        ("dict", fun sl -> sl.Cccs.Experiments.dict);
+      ]
+  in
+  Test.make_grouped ~name:"certify" ~fmt:"%s/%s"
+    (tests_of fixture "compress" @ tests_of kernel "fir")
+
 let all_tests =
   Test.make_grouped ~name:"cccs" ~fmt:"%s %s"
     [ bench_fig5; bench_fig7; bench_fig10; bench_fig13; bench_fig14;
-      bench_substrate; bench_extensions; bench_validate ]
+      bench_substrate; bench_extensions; bench_validate; bench_certify ]
 
 let run_benchmarks () =
   let ols =
@@ -476,7 +506,7 @@ let run_perf () =
   let rows4, s4 = sweep_once ~jobs:4 in
   if rows1 <> rows4 then
     failwith "bench perf: parallel sweep diverged from sequential";
-  let cores = Domain.recommended_domain_count () in
+  let cores = Cccs.Parallel.cores () in
   Printf.printf
     "perf/sweep   jobs=1 %6.2fs   jobs=4 %6.2fs   %5.2fx  (%d cores, \
      results identical)\n"

@@ -389,8 +389,8 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Run the whole-pipeline static verifier (dataflow, schedule, \
-          encoding, decoder and image checks) on one workload or the whole \
-          suite")
+          encoding, decoder, image and certification checks) on one \
+          workload or the whole suite")
     Term.(const run $ setup_logs $ bench_opt_arg $ all_arg $ pass_arg
           $ passes_arg $ json_arg)
 
@@ -541,6 +541,156 @@ let validate_cmd =
           frame guards and resynchronization distance")
     Term.(const run $ setup_logs $ bench_opt_arg $ all_arg $ json_arg
           $ resync_arg)
+
+let certify_cmd =
+  let bench_opt_arg =
+    let doc = "Workload name (see `cccs list`).  Omit with $(b,--all)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let all_arg =
+    let doc = "Certify every workload in the suite." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit one machine-readable certificate (schema $(b,cccs-certify/1)) \
+       on stdout; the human-readable report moves to stderr."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run () bench all json =
+    let entries =
+      if all then Workloads.Suite.all
+      else
+        match bench with
+        | Some b -> [ find_workload b ]
+        | None ->
+            Logs.err (fun m -> m "certify: give a BENCH or --all");
+            exit 2
+    in
+    let out = if json then Format.err_formatter else Format.std_formatter in
+    let collector = Cccs.Analysis.Diag.Collector.create () in
+    let opt_int f = function None -> Cccs_obs.Json.Null | Some v -> f v in
+    let workloads_json =
+      List.map
+        (fun (e : Workloads.Suite.entry) ->
+          let r = Cccs.Workload_run.load e in
+          let t = Cccs.Analysis.target_of_run r in
+          let workload = t.Cccs.Analysis.Pass.workload in
+          Format.fprintf out "%s:@." workload;
+          let schemes_json =
+            List.map
+              (fun (sc : Encoding.Scheme.t) ->
+                let diags, cert =
+                  Cccs.Analysis.Certify.certify_scheme ~workload
+                    ?program:t.Cccs.Analysis.Pass.program sc
+                in
+                Cccs.Analysis.Diag.Collector.add_list collector diags;
+                List.iter
+                  (fun d ->
+                    Format.fprintf out "%s@." (Cccs.Analysis.Diag.to_string d))
+                  diags;
+                let open Cccs.Analysis.Certify in
+                Format.fprintf out
+                  "  %-10s %s  %d book(s)  worst op %s bits, worst block \
+                   %d/%s bits@."
+                  cert.scheme
+                  (if cert.ok then "certified" else "FAILED")
+                  (List.length cert.books)
+                  (match cert.worst_op_bits with
+                  | Some w -> string_of_int w
+                  | None -> "-")
+                  cert.worst_block_bits
+                  (match cert.worst_block_bound with
+                  | Some b -> string_of_int b
+                  | None -> "-");
+                List.iter
+                  (fun b ->
+                    Format.fprintf out
+                      "    book %-10s %5d syms  dfa %5d states  lut \
+                       %5d+%-5d  resync %s  syncword %s@."
+                      b.book b.symbols b.dfa_states b.lut_root_checked
+                      b.lut_sub_checked
+                      (match b.resync_bits with
+                      | Some n -> string_of_int n ^ " bits"
+                      | None -> "unbounded")
+                      (match b.sync_word_bits with
+                      | Some n -> "<=" ^ string_of_int n ^ " bits"
+                      | None -> "none"))
+                  cert.books;
+                let open Cccs_obs.Json in
+                Obj
+                  [
+                    ("name", Str cert.scheme);
+                    ("ok", Bool cert.ok);
+                    ("errors", int cert.errors);
+                    ("warnings", int cert.warnings);
+                    ("worst_op_bits", opt_int int cert.worst_op_bits);
+                    ("worst_block_bits", int cert.worst_block_bits);
+                    ("worst_block_bound", opt_int int cert.worst_block_bound);
+                    ("blocks_checked", int cert.blocks_checked);
+                    ( "books",
+                      Arr
+                        (List.map
+                           (fun b ->
+                             Obj
+                               [
+                                 ("book", Str b.book);
+                                 ("symbols", int b.symbols);
+                                 ("max_code_len", int b.max_code_len);
+                                 ("dfa_states", int b.dfa_states);
+                                 ("complete", Bool b.complete);
+                                 ("worst_bits", int b.worst_bits);
+                                 ("lut_root_checked", int b.lut_root_checked);
+                                 ("lut_sub_checked", int b.lut_sub_checked);
+                                 ("recoverable", Bool b.recoverable);
+                                 ("resync_bits", opt_int int b.resync_bits);
+                                 ( "sync_word_bits",
+                                   opt_int int b.sync_word_bits );
+                               ])
+                           cert.books) );
+                    ("diags", Arr (List.map diag_json diags));
+                  ])
+              t.Cccs.Analysis.Pass.schemes
+          in
+          Cccs_obs.Json.Obj
+            [
+              ("name", Cccs_obs.Json.Str workload);
+              ("schemes", Cccs_obs.Json.Arr schemes_json);
+            ])
+        entries
+    in
+    let ok = Cccs.Analysis.Diag.Collector.exit_status collector = 0 in
+    if json then
+      print_endline
+        (Cccs_obs.Json.to_string
+           (Cccs_obs.Json.Obj
+              [
+                ("schema", Cccs_obs.Json.Str "cccs-certify/1");
+                ("ok", Cccs_obs.Json.Bool ok);
+                ( "errors",
+                  Cccs_obs.Json.int
+                    (Cccs.Analysis.Diag.Collector.errors collector) );
+                ( "warnings",
+                  Cccs_obs.Json.int
+                    (Cccs.Analysis.Diag.Collector.warnings collector) );
+                ("workloads", Cccs_obs.Json.Arr workloads_json);
+              ]))
+    else
+      Format.fprintf out "certify: %s (%a)@."
+        (if ok then "certified" else "FAILED")
+        Cccs.Analysis.Diag.Collector.pp_summary collector;
+    exit (Cccs.Analysis.Diag.Collector.exit_status collector)
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Prove decoder properties by exhaustive enumeration over each \
+          published codebook's decode automaton: decode totality, \
+          bit-exact Huffman LUT equivalence, resynchronization bounds, \
+          and certified worst-case block sizes from each scheme's decode \
+          model")
+    Term.(const run $ setup_logs $ bench_opt_arg $ all_arg $ json_arg)
 
 let faults_cmd =
   let flips_arg =
@@ -769,6 +919,7 @@ let () =
       verify_cmd;
       lint_cmd;
       validate_cmd;
+      certify_cmd;
       faults_cmd;
       disasm_cmd;
       stats_cmd;

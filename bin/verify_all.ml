@@ -4,7 +4,9 @@
    VLIW program against the sequential reference interpreter (identical
    memory, identical control-flow trace), check that every encoding scheme
    decodes the ROM back to the identical program, and run the static
-   verifier (Cccs.Analysis) over the CFG, schedule, encodings and decoder.
+   verifier (Cccs.Analysis) over the CFG, schedule, encodings and decoder —
+   including the decoder certification pass, whose CCCS-E2xx findings get
+   their own per-row column.
 
    This is the long-form version of what `dune runtest` samples; CI or a
    release check can run it directly:  dune exec bin/verify_all.exe
@@ -29,6 +31,9 @@ type row = {
   validate_ok : bool;
   validate_failed : string list;
       (* schemes the image-level translation validator rejected *)
+  certify_ok : bool;
+  certify_failed : string list;
+      (* schemes the decoder certification pass rejected (CCCS-E2xx) *)
   faults_ok : bool;
   faults_detected : int;
   seconds : float;
@@ -111,6 +116,23 @@ let check_workload ~emit (e : Workloads.Suite.entry) =
          lint_errors)
   in
   let validate_ok = validate_failed = [] in
+  (* The decoder certification pass has its own code family (CCCS-E2xx);
+     its column proves the decode automata rather than the built image. *)
+  let certify_errors =
+    List.filter
+      (fun (d : Cccs.Analysis.Diag.t) ->
+        String.length d.Cccs.Analysis.Diag.code >= 7
+        && String.sub d.Cccs.Analysis.Diag.code 0 7 = "CCCS-E2")
+      lint_errors
+  in
+  let certify_failed =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (d : Cccs.Analysis.Diag.t) ->
+           d.Cccs.Analysis.Diag.loc.Cccs.Analysis.Diag.scheme)
+         certify_errors)
+  in
+  let certify_ok = certify_errors = [] in
   List.iter
     (fun d ->
       Printf.ksprintf emit "  %s\n" (Cccs.Analysis.Diag.to_string d))
@@ -118,8 +140,8 @@ let check_workload ~emit (e : Workloads.Suite.entry) =
   let seconds = Unix.gettimeofday () -. t0 in
   Printf.ksprintf emit
     "%-12s blocks=%5d ops=%6d ilp=%4.2f hoist=%4d | dyn_ops=%8d visits=%7d \
-     %s | mem %s trace %s schemes %s lint %s validate %s faults %s(%d det) | \
-     %.2fs\n"
+     %s | mem %s trace %s schemes %s lint %s validate %s certify %s faults \
+     %s(%d det) | %.2fs\n"
     r.Cccs.Workload_run.name
     (Tepic.Program.num_blocks prog)
     (Tepic.Program.num_ops prog)
@@ -136,6 +158,8 @@ let check_workload ~emit (e : Workloads.Suite.entry) =
     (if lint_ok then "OK" else "FAIL")
     (if validate_ok then "OK"
      else "FAIL[" ^ String.concat "," validate_failed ^ "]")
+    (if certify_ok then "OK"
+     else "FAIL[" ^ String.concat "," certify_failed ^ "]")
     (if faults_ok then "OK" else "FAIL")
     faults_detected seconds;
   {
@@ -147,6 +171,8 @@ let check_workload ~emit (e : Workloads.Suite.entry) =
     lint_warnings = List.length diags - List.length lint_errors;
     validate_ok;
     validate_failed;
+    certify_ok;
+    certify_failed;
     faults_ok;
     faults_detected;
     seconds;
@@ -159,6 +185,7 @@ let checks =
     ("scheme-decode-back", fun r -> r.schemes_ok);
     ("static-lint", fun r -> r.lint_ok);
     ("image-validate", fun r -> r.validate_ok);
+    ("decoder-certify", fun r -> r.certify_ok);
     ("fault-protection", fun r -> r.faults_ok);
   ]
 
@@ -176,6 +203,8 @@ let json_report rows ok =
         ("validate_ok", Bool r.validate_ok);
         ( "validate_failed",
           Arr (List.map (fun s -> Str s) r.validate_failed) );
+        ("certify_ok", Bool r.certify_ok);
+        ("certify_failed", Arr (List.map (fun s -> Str s) r.certify_failed));
         ("faults_ok", Bool r.faults_ok);
         ("faults_detected", int r.faults_detected);
         ("seconds", Num r.seconds);
@@ -244,7 +273,7 @@ let () =
     List.for_all
       (fun r ->
         r.mem_ok && r.trace_ok && r.schemes_ok && r.lint_ok && r.validate_ok
-        && r.faults_ok)
+        && r.certify_ok && r.faults_ok)
       rows
   in
   if json_mode then

@@ -19,6 +19,8 @@ module Decoder_check = Decoder_check
 module Abstract_decoder = Abstract_decoder
 module Cfg_recover = Cfg_recover
 module Image_check = Image_check
+module Decode_dfa = Decode_dfa
+module Certify = Certify
 
 (* The pass registry, in pipeline order.  New passes (bus-energy lint, ATB
    reachability, ...) append here. *)
@@ -29,6 +31,7 @@ let passes : (module Pass.S) list =
     Encoding_check.pass;
     Decoder_check.pass;
     Image_check.pass;
+    Certify.pass;
   ]
 
 let pass_names =

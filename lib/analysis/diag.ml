@@ -109,6 +109,31 @@ let registry =
       Warning,
       "a single-bit flip can silently desynchronize codewords to the end \
        of an unframed block" );
+    (* Decoder certification (Certify) *)
+    ( "CCCS-E200",
+      Error,
+      "decode automaton construction failed: published codebook is not \
+       prefix-free" );
+    ( "CCCS-E201",
+      Error,
+      "decode totality proof failed: a reachable decoder state can consume \
+       past the declared maximum code length" );
+    ( "CCCS-E202",
+      Error,
+      "Huffman LUT root-table entry disagrees with the canonical decode \
+       automaton" );
+    ( "CCCS-E203",
+      Error,
+      "Huffman LUT overflow sub-table entry disagrees with the canonical \
+       decode automaton" );
+    ( "CCCS-E204",
+      Error,
+      "decode model references an unpublished codebook or a built block \
+       exceeds its certified size bound" );
+    ( "CCCS-W205",
+      Warning,
+      "published codebook has no synchronizing sequence: a desynchronized \
+       decoder can never be forced back into lock-step inside a block" );
     (* Protected block framing (Encoding_check) *)
     ( "CCCS-E500",
       Error,

@@ -1,7 +1,7 @@
 (** The whole-pipeline static verifier, wired to the workload drivers.
 
-    Re-exports {!Cccs_analysis} (diagnostics, pass signature, the four
-    checkers) and adds the glue that assembles a {!Cccs_analysis.Pass.target}
+    Re-exports {!Cccs_analysis} (diagnostics, pass signature, the
+    registered checkers) and adds the glue that assembles a {!Cccs_analysis.Pass.target}
     from a memoized workload run: allocated CFG, packed program, every
     built encoding scheme and the tailored spec. *)
 
@@ -14,6 +14,8 @@ module Decoder_check = Cccs_analysis.Decoder_check
 module Abstract_decoder = Cccs_analysis.Abstract_decoder
 module Cfg_recover = Cccs_analysis.Cfg_recover
 module Image_check = Cccs_analysis.Image_check
+module Decode_dfa = Cccs_analysis.Decode_dfa
+module Certify = Cccs_analysis.Certify
 
 val passes : (module Pass.S) list
 

@@ -21,8 +21,13 @@
 (** Hard cap on the pool size (64). *)
 val max_jobs : int
 
+(** [cores ()] — [Domain.recommended_domain_count ()]: the machine
+    capacity both {!default_jobs} and the perf reports quote. *)
+val cores : unit -> int
+
 (** [default_jobs ()] — the [CCCS_JOBS] environment variable clamped to
-    [\[1, max_jobs\]]; [1] when unset or unparsable. *)
+    [\[1, min max_jobs (cores ())\]]; [1] when unset or unparsable, so an
+    oversubscribed pool can never be selected by default. *)
 val default_jobs : unit -> int
 
 (** [map ?jobs f xs] — ordered parallel map.  [jobs] defaults to

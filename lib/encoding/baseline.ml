@@ -22,6 +22,15 @@ let build program =
     decoder =
       { dict_entries = 0; max_code_bits = 0; entry_bits = 0; transistors = 0 };
     books = [];
+    model =
+      [
+        Scheme.Fixed_bits
+          {
+            label = "op";
+            min_bits = Tepic.Format_spec.op_bits;
+            max_bits = Tepic.Format_spec.op_bits;
+          };
+      ];
     decode_payload;
     decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
   }

@@ -48,6 +48,11 @@ let build program =
         transistors = Huffman.Codebook.decoder_transistors book;
       };
     books = [ ("byte", book) ];
+    model =
+      [
+        Scheme.Book_codewords
+          { book = "byte"; max_per_op = Tepic.Format_spec.op_bytes };
+      ];
     decode_payload;
     decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
   }

@@ -135,6 +135,17 @@ let build program =
         transistors = 0;
       };
     books = [];
+    (* Worst case per op: a literal token (flag + 40-bit image).  Best
+       case: one reference token amortized over a max_seq_len-op entry. *)
+    model =
+      [
+        Scheme.Fixed_bits
+          {
+            label = "dict-token";
+            min_bits = (1 + idx_bits) / max_seq_len;
+            max_bits = 1 + op_bits;
+          };
+      ];
     decode_payload;
     decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
   }

@@ -42,6 +42,7 @@ let build program =
         transistors = Huffman.Codebook.decoder_transistors book;
       };
     books = [ ("full", book) ];
+    model = [ Scheme.Book_codewords { book = "full"; max_per_op = 1 } ];
     decode_payload;
     decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
   }

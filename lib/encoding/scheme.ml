@@ -35,6 +35,17 @@ type frame = {
 let no_frame =
   { protection = Unprotected; len_bits = 0; guard_bits = 0; protection_bits = 0 }
 
+(* Declarative decode model: what one decoded op costs on the wire, stated
+   in terms of the scheme's *published* artifacts.  The certification pass
+   (Cccs_analysis.Certify) consumes this — each [Book_codewords] source is
+   proved against the named codebook's decode automaton, and the summed
+   per-op maxima give the certified worst-case block size — so a new
+   scheme (CPack, BDI, ...) is certified for free once it states its
+   model. *)
+type code_source =
+  | Fixed_bits of { label : string; min_bits : int; max_bits : int }
+  | Book_codewords of { book : string; max_per_op : int }
+
 type t = {
   name : string;
   image : string;
@@ -45,6 +56,7 @@ type t = {
   frame : frame;
   decoder : decoder_info;
   books : (string * Huffman.Codebook.t) list;
+  model : code_source list;
   decode_payload : Bits.Reader.t -> int -> Tepic.Op.t list;
   decode_block : int -> Tepic.Op.t list;
 }

@@ -49,6 +49,15 @@ type frame = {
 
 val no_frame : frame
 
+(** One component of a scheme's declarative decode model: where the bits
+    of a decoded op come from.  [Fixed_bits] — a fixed-layout field group
+    consuming between [min_bits] and [max_bits] per op ([label] names it
+    in certificates); [Book_codewords] — at most [max_per_op] codewords
+    per op drawn from the published codebook named [book]. *)
+type code_source =
+  | Fixed_bits of { label : string; min_bits : int; max_bits : int }
+  | Book_codewords of { book : string; max_per_op : int }
+
 type t = {
   name : string;
   image : string;  (** the code segment, blocks contiguous, byte-aligned *)
@@ -62,6 +71,13 @@ type t = {
       (** the Huffman codebooks behind the image, if any (one per stream
           for the stream schemes); exposed so static analysis can audit
           prefix-freeness, Kraft completeness and canonical ordering *)
+  model : code_source list;
+      (** the declarative decode model: summed over the sources, the
+          certified bounds on the bits one decoded op consumes.  The
+          static certification pass proves each [Book_codewords] source
+          against its codebook's decode automaton and checks every built
+          block against the implied worst-case size (framing excluded —
+          {!protect} accounts for it separately and preserves the model) *)
   decode_payload : Bits.Reader.t -> int -> Tepic.Op.t list;
       (** [decode_payload r i] — decode block [i]'s ops starting at [r]'s
           current position (which need not lie in this scheme's own image:

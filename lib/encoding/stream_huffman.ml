@@ -168,6 +168,21 @@ let build ?(config = classic) program =
            | None -> ())
          books;
        List.rev !named);
+    (* One codeword per live stream per op (a zero-width field reads
+       nothing, but its stream may still serve other formats). *)
+    model =
+      (let srcs = ref [] in
+       Array.iteri
+         (fun s b ->
+           match b with
+           | Some _ ->
+               srcs :=
+                 Scheme.Book_codewords
+                   { book = Printf.sprintf "stream%d" s; max_per_op = 1 }
+                 :: !srcs
+           | None -> ())
+         books;
+       List.rev !srcs);
     decode_payload;
     decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
   }

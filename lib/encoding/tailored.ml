@@ -325,6 +325,16 @@ let build_with_spec program =
       decoder =
         { dict_entries = 0; max_code_bits = 0; entry_bits = 0; transistors = 0 };
       books = [];
+      model =
+        (let widths = List.map snd spec.widths in
+         [
+           Scheme.Fixed_bits
+             {
+               label = "tailored-op";
+               min_bits = List.fold_left min max_int widths;
+               max_bits = List.fold_left max 0 widths;
+             };
+         ]);
       decode_payload;
       decode_block = Scheme.block_decoder ~image ~offsets decode_payload;
     },

@@ -308,10 +308,40 @@ module Table = struct
     Array.fold_left
       (fun a s -> a + Array.length s.sub_tab)
       (Array.length tb.root) tb.subs
+
+  (* Read-only slot introspection for the certification pass: every packed
+     entry decodes to exactly what the hot read path would do with it, so
+     an external checker can compare the whole table against an
+     independently built decode automaton without re-deriving the slot
+     encoding. *)
+  type slot =
+    | Empty
+    | Sym of { symbol : int; length : int }
+    | Sub of int
+
+  let decode_slot v =
+    if v = 0 then Empty
+    else if v > 0 then Sym { symbol = v lsr 6; length = v land 0x3f }
+    else Sub (-v - 1)
+
+  let root_size tb = Array.length tb.root
+  let root_slot tb i = decode_slot tb.root.(i)
+  let sub_width tb si = tb.subs.(si).sub_bits
+  let sub_size tb si = Array.length tb.subs.(si).sub_tab
+  let sub_slot tb si j = decode_slot tb.subs.(si).sub_tab.(j)
+
+  (* Fault-injection hooks: XOR raw packed bits in place, modelling a
+     table-SRAM upset.  Only the certification tests use these — the
+     decode path never writes a built table. *)
+  let corrupt_root tb i ~xor = tb.root.(i) <- tb.root.(i) lxor xor
+
+  let corrupt_sub tb si j ~xor =
+    tb.subs.(si).sub_tab.(j) <- tb.subs.(si).sub_tab.(j) lxor xor
 end
 
 let entries t = Array.length t.symbols
 let max_length t = t.max_len
+let lut_eligible t = t.lut_ok
 
 let to_list t =
   Array.to_list (Array.mapi (fun i s -> (s, t.codes.(i), t.lengths.(i))) t.symbols)

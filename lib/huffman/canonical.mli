@@ -64,6 +64,42 @@ module Table : sig
 
   val entries : t -> int
   (** Total slots across the root and every sub-table. *)
+
+  (** One decoded table slot, exactly as the read path interprets the
+      packed int: [Empty] — no codeword has this prefix; [Sym] — a
+      codeword of [length] total bits ends inside this index window;
+      [Sub i] — continue in sub-table [i] (root level only). *)
+  type slot =
+    | Empty
+    | Sym of { symbol : int; length : int }
+    | Sub of int
+
+  val root_size : t -> int
+  (** Number of root slots, [2^root_bits]. *)
+
+  val root_slot : t -> int -> slot
+  (** [root_slot tb i] — slot for root index [i] (the stream's first
+      [root_bits] bits, MSB-first). *)
+
+  val sub_width : t -> int -> int
+  (** [sub_width tb si] — index width of sub-table [si]: the bits read
+      after the root window. *)
+
+  val sub_size : t -> int -> int
+  (** [sub_size tb si] — number of slots in sub-table [si],
+      [2^(sub_width tb si)]. *)
+
+  val sub_slot : t -> int -> int -> slot
+  (** [sub_slot tb si j] — slot for index [j] of sub-table [si]. *)
+
+  val corrupt_root : t -> int -> xor:int -> unit
+  (** [corrupt_root tb i ~xor] — XOR raw packed bits of root slot [i] in
+      place, modelling a table-SRAM upset.  Fault-injection hook for the
+      certification tests; the decode path never writes a built table. *)
+
+  val corrupt_sub : t -> int -> int -> xor:int -> unit
+  (** [corrupt_sub tb si j ~xor] — like {!corrupt_root} for slot [j] of
+      sub-table [si]. *)
 end
 
 (** [table t] — the code's decode table, built on first use and memoized.
@@ -80,6 +116,11 @@ val table_built : t -> bool
 
 val entries : t -> int
 val max_length : t -> int
+
+(** [lut_eligible t] — whether {!table} can be built for this code (max
+    length within 28 bits, every symbol inside [0, 2^56)); {!read} on a
+    non-eligible code stays bit-serial. *)
+val lut_eligible : t -> bool
 
 (** [to_list t] is the (symbol, bits, length) table in canonical order. *)
 val to_list : t -> (int * int * int) list

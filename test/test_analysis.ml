@@ -231,6 +231,7 @@ let dummy_scheme ~image ~offsets ~bits =
       { Encoding.Scheme.dict_entries = 0; max_code_bits = 0; entry_bits = 0;
         transistors = 0 };
     books = [];
+    model = [];
     decode_payload = (fun _ _ -> []);
     decode_block = (fun _ -> []);
   }

@@ -15,6 +15,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("analysis", Test_analysis.suite);
       ("validate", Test_validate.suite);
+      ("certify", Test_certify.suite);
       ("faults", Test_faults.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);

@@ -56,12 +56,17 @@ let test_default_jobs_env () =
     Unix.putenv "CCCS_JOBS" "";
     r
   in
-  check "plain" 3 (with_env "3" Cccs.Parallel.default_jobs);
-  check "trimmed" 5 (with_env " 5 " Cccs.Parallel.default_jobs);
+  (* The env request is additionally capped at the machine's recommended
+     domain count, so an oversubscribed pool is never the default. *)
+  let cores = max 1 (Cccs.Parallel.cores ()) in
+  let cap n = min n (min Cccs.Parallel.max_jobs cores) in
+  Alcotest.(check bool) "cores is positive" true (Cccs.Parallel.cores () >= 1);
+  check "plain" (cap 3) (with_env "3" Cccs.Parallel.default_jobs);
+  check "trimmed" (cap 5) (with_env " 5 " Cccs.Parallel.default_jobs);
   check "zero falls back" 1 (with_env "0" Cccs.Parallel.default_jobs);
   check "negative falls back" 1 (with_env "-4" Cccs.Parallel.default_jobs);
   check "unparsable falls back" 1 (with_env "lots" Cccs.Parallel.default_jobs);
-  check "clamped to max_jobs" Cccs.Parallel.max_jobs
+  check "clamped to max_jobs and cores" (cap 9999)
     (with_env "9999" Cccs.Parallel.default_jobs)
 
 (* The hard invariant behind every ?jobs parameter: a parallel sweep is
