@@ -449,6 +449,46 @@ let sweep_once ~jobs =
   in
   (rows, now () -. t0)
 
+(* BENCH_perf.json is shared by the [perf] and [fuzz] modes: each mode
+   owns the name prefixes it writes and must not clobber the other's rows,
+   so writes go through a read-merge — keep every existing row outside our
+   prefixes, replace the rest. *)
+let write_perf_rows ~prefixes rows =
+  let open Cccs_obs.Json in
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let existing =
+    if not (Sys.file_exists "BENCH_perf.json") then []
+    else
+      let ic = open_in_bin "BENCH_perf.json" in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match parse s with
+      | Error _ -> []
+      | Ok j -> (
+          match Option.bind (member "results" j) to_list with
+          | Some l ->
+              List.filter
+                (fun r ->
+                  match member "name" r with
+                  | Some (Str n) ->
+                      not (List.exists (fun p -> starts_with p n) prefixes)
+                  | _ -> false)
+                l
+          | None -> [])
+  in
+  let j =
+    Obj
+      [
+        ("schema", Str "cccs-bench/1");
+        ("results", Arr (existing @ rows));
+      ]
+  in
+  Cccs_obs.Export.write_file "BENCH_perf.json" (to_string j ^ "\n");
+  Printf.printf "wrote %d rows to BENCH_perf.json (%d kept)\n"
+    (List.length rows) (List.length existing)
+
 let write_perf decode_rows ~s1 ~s4 ~cores =
   let open Cccs_obs.Json in
   let decode_json d =
@@ -462,31 +502,19 @@ let write_perf decode_rows ~s1 ~s4 ~cores =
         ("speedup_vs_seed", Num (d.table_mb_s /. d.seed_mb_s));
       ]
   in
-  let j =
-    Obj
-      [
-        ("schema", Str "cccs-bench/1");
-        ( "results",
-          Arr
-            (List.map decode_json decode_rows
-            @ [
-                Obj
-                  [
-                    ("name", Str "perf/sweep/jobs1");
-                    ("seconds", Num s1);
-                  ];
-                Obj
-                  [
-                    ("name", Str "perf/sweep/jobs4");
-                    ("seconds", Num s4);
-                    ("speedup", Num (s1 /. s4));
-                    ("cores", int cores);
-                  ];
-              ]) );
-      ]
-  in
-  Cccs_obs.Export.write_file "BENCH_perf.json" (to_string j ^ "\n");
-  print_endline "wrote BENCH_perf.json"
+  write_perf_rows
+    ~prefixes:[ "perf/decode/"; "perf/sweep/" ]
+    (List.map decode_json decode_rows
+    @ [
+        Obj [ ("name", Str "perf/sweep/jobs1"); ("seconds", Num s1) ];
+        Obj
+          [
+            ("name", Str "perf/sweep/jobs4");
+            ("seconds", Num s4);
+            ("speedup", Num (s1 /. s4));
+            ("cores", int cores);
+          ];
+      ])
 
 let run_perf () =
   Printf.printf "CCCS perf — decode throughput and sweep wall-clock\n%s\n"
@@ -513,8 +541,160 @@ let run_perf () =
     s1 s4 (s1 /. s4) cores;
   write_perf decode_rows ~s1 ~s4 ~cores
 
+(* ------------------------------------------------------------------ *)
+(* fuzz group: campaign throughput and bounded-memory trace streaming. *)
+(*                                                                     *)
+(* `bench fuzz` measures the differential fuzzing engine (cases/sec    *)
+(* over a fixed-seed campaign) and the streaming trace path: a         *)
+(* two-million-visit trace is written through Trace_stream, replayed   *)
+(* through Fetch.Sim.run_iter without ever materializing the visit     *)
+(* sequence, and the heap is sampled along the way — growth past the   *)
+(* cap (or a result that differs from the direct in-memory iterator)   *)
+(* fails the run.  Rows land in BENCH_perf.json next to the perf       *)
+(* group's.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let stream_target_visits = 2_000_000
+let stream_heap_cap_bytes = 32 * 1024 * 1024
+
+let fuzz_campaign_row () =
+  let spec = { Cccs_fuzz.Fuzz.default_spec with Cccs_fuzz.Fuzz.runs = 2000 } in
+  let r = Cccs_fuzz.Fuzz.run spec in
+  if r.Cccs_fuzz.Fuzz.findings <> [] then
+    failwith "bench fuzz: fixed-seed campaign produced findings";
+  let cases = r.Cccs_fuzz.Fuzz.tallies.Cccs_fuzz.Fuzz.cases in
+  let cps = float_of_int cases /. r.Cccs_fuzz.Fuzz.seconds in
+  Printf.printf "perf/fuzz/campaign   %d cases in %.2fs  (%.0f cases/s)\n%!"
+    cases r.Cccs_fuzz.Fuzz.seconds cps;
+  let open Cccs_obs.Json in
+  Obj
+    [
+      ("name", Str "perf/fuzz/campaign");
+      ("cases", int cases);
+      ("seconds", Num r.Cccs_fuzz.Fuzz.seconds);
+      ("cases_per_s", Num cps);
+      ("findings", int (List.length r.Cccs_fuzz.Fuzz.findings));
+    ]
+
+let stream_rows () =
+  let module Ts = Workloads.Trace_stream in
+  let run_k = Lazy.force kernel in
+  let prog = run_k.Cccs.Workload_run.compiled.Cccs.Pipeline.program in
+  let base =
+    let acc = ref [] in
+    Emulator.Trace.iter
+      (fun b -> acc := b :: !acc)
+      run_k.Cccs.Workload_run.exec.Emulator.Exec.trace;
+    Array.of_list (List.rev !acc)
+  in
+  let n = Array.length base in
+  let path = Filename.temp_file "cccs_bench_stream" ".trc" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let t0 = now () in
+      let w = Ts.create path in
+      let i = ref 0 in
+      while Ts.visits_written w < stream_target_visits do
+        Ts.add w base.(!i);
+        i := if !i + 1 = n then 0 else !i + 1
+      done;
+      Ts.close w;
+      let write_s = now () -. t0 in
+      let file_bytes = (Unix.stat path).Unix.st_size in
+      let sch = Encoding.Full_huffman.build prog in
+      let cfg = Fetch.Config.default in
+      let att = Encoding.Att.build sch ~line_bits:cfg.Fetch.Config.line_bits prog in
+      let sim iter_blocks =
+        Fetch.Sim.run_iter ~model:Fetch.Config.Compressed ~cfg ~scheme:sch ~att
+          iter_blocks
+      in
+      (* Direct in-memory replay of the same visit sequence: the oracle the
+         streamed run must match bit for bit. *)
+      let expect =
+        sim (fun f ->
+            let i = ref 0 in
+            for _ = 1 to stream_target_visits do
+              f base.(!i);
+              i := if !i + 1 = n then 0 else !i + 1
+            done)
+      in
+      Gc.compact ();
+      let heap0 = (Gc.quick_stat ()).Gc.heap_words in
+      let peak = ref heap0 in
+      let visits = ref 0 in
+      let t0 = now () in
+      let streamed =
+        match
+          Ts.with_blocks path ~f:(fun iter_blocks ->
+              sim (fun f ->
+                  iter_blocks (fun b ->
+                      incr visits;
+                      if !visits land 0xFFFF = 0 then
+                        peak :=
+                          max !peak (Gc.quick_stat ()).Gc.heap_words;
+                      f b)))
+        with
+        | Ok r -> r
+        | Error e -> failwith ("bench fuzz: " ^ Ts.error_to_string e)
+      in
+      let replay_s = now () -. t0 in
+      peak := max !peak (Gc.quick_stat ()).Gc.heap_words;
+      let heap_delta = (!peak - heap0) * (Sys.word_size / 8) in
+      let bounded = heap_delta <= stream_heap_cap_bytes in
+      if !visits <> stream_target_visits then
+        failwith "bench fuzz: streamed replay lost visits";
+      if streamed <> expect then
+        failwith "bench fuzz: streamed result differs from in-memory replay";
+      Printf.printf
+        "perf/stream/write    %d visits in %.2fs  (%.1f Mvisits/s, %d bytes)\n"
+        stream_target_visits write_s
+        (float_of_int stream_target_visits /. write_s /. 1e6)
+        file_bytes;
+      Printf.printf
+        "perf/stream/replay   %d visits in %.2fs  (%.1f Mvisits/s)  heap \
+         +%.1f MB (cap %d MB)%s\n%!"
+        streamed.Fetch.Sim.block_visits replay_s
+        (float_of_int stream_target_visits /. replay_s /. 1e6)
+        (float_of_int heap_delta /. 1e6)
+        (stream_heap_cap_bytes / 1024 / 1024)
+        (if bounded then "" else "  ** OVER CAP **");
+      if not bounded then
+        failwith "bench fuzz: streaming replay heap grew past the cap";
+      let open Cccs_obs.Json in
+      [
+        Obj
+          [
+            ("name", Str "perf/stream/write");
+            ("visits", int stream_target_visits);
+            ("seconds", Num write_s);
+            ("visits_per_s", Num (float_of_int stream_target_visits /. write_s));
+            ("file_bytes", int file_bytes);
+          ];
+        Obj
+          [
+            ("name", Str "perf/stream/replay");
+            ("visits", int streamed.Fetch.Sim.block_visits);
+            ("seconds", Num replay_s);
+            ( "visits_per_s",
+              Num (float_of_int stream_target_visits /. replay_s) );
+            ("heap_peak_delta_bytes", int heap_delta);
+            ("heap_cap_bytes", int stream_heap_cap_bytes);
+            ("bounded", Bool bounded);
+          ];
+      ])
+
+let run_fuzz_bench () =
+  Printf.printf
+    "CCCS fuzz — campaign throughput and streaming simulation\n%s\n"
+    (String.make 68 '-');
+  let campaign = fuzz_campaign_row () in
+  let streams = stream_rows () in
+  write_perf_rows ~prefixes:[ "perf/fuzz/"; "perf/stream/" ] (campaign :: streams)
+
 let () =
-  if Array.exists (( = ) "perf") Sys.argv then run_perf ()
+  if Array.exists (( = ) "fuzz") Sys.argv then run_fuzz_bench ()
+  else if Array.exists (( = ) "perf") Sys.argv then run_perf ()
   else begin
     Format.printf
       "CCCS reproduction — Larin & Conte, MICRO-32 (1999)@.%s@.@."

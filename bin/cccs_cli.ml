@@ -712,7 +712,28 @@ let faults_cmd =
     in
     Arg.(value & opt string "both" & info [ "protect" ] ~docv:"MODE" ~doc)
   in
-  let run () bench flips seed retries protect =
+  let jobs_arg =
+    let doc = "Worker domains for the campaign (default: CCCS_JOBS)." in
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Machine-readable report (schema cccs-faults/1) on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let counts_json (c : Cccs.Faults.counts) =
+    let open Cccs_obs.Json in
+    Obj
+      [
+        ("injected", int c.Cccs.Faults.injected);
+        ("detected", int c.Cccs.Faults.detected);
+        ("corrected", int c.Cccs.Faults.corrected);
+        ("silent", int c.Cccs.Faults.silent);
+        ("benign", int c.Cccs.Faults.benign);
+        ("machine_checks", int c.Cccs.Faults.machine_checks);
+        ("recovery_cycles", int c.Cccs.Faults.recovery_cycles);
+      ]
+  in
+  let run () bench flips seed retries protect jobs json =
     ignore (find_workload bench);
     let protections =
       match protect with
@@ -726,20 +747,72 @@ let faults_cmd =
               exit 2)
     in
     let protected_silent = ref 0 in
-    List.iter
-      (fun protection ->
-        let t =
-          Cccs.Faults.run
-            { Cccs.Faults.bench; seed; flips; retries; protection }
-        in
-        Cccs.Report.faults Format.std_formatter t;
-        if protection <> Encoding.Scheme.Unprotected then
-          List.iter
-            (fun row ->
-              protected_silent :=
-                !protected_silent + Cccs.Faults.silent_total row)
-            t.Cccs.Faults.rows)
-      protections;
+    let campaigns =
+      List.map
+        (fun protection ->
+          let t =
+            Cccs.Faults.run ?jobs
+              { Cccs.Faults.bench; seed; flips; retries; protection }
+          in
+          if not json then Cccs.Report.faults Format.std_formatter t;
+          if protection <> Encoding.Scheme.Unprotected then
+            List.iter
+              (fun row ->
+                protected_silent :=
+                  !protected_silent + Cccs.Faults.silent_total row)
+              t.Cccs.Faults.rows;
+          t)
+        protections
+    in
+    if json then begin
+      let open Cccs_obs.Json in
+      let row_json (r : Cccs.Faults.scheme_report) =
+        Obj
+          [
+            ("scheme", Str r.Cccs.Faults.scheme);
+            ( "protection",
+              Str (Encoding.Scheme.protection_name r.Cccs.Faults.protection) );
+            ("ratio", Num r.Cccs.Faults.ratio);
+            ("protection_overhead", Num r.Cccs.Faults.protection_overhead);
+            ("rom", counts_json r.Cccs.Faults.rom);
+            ("table", counts_json r.Cccs.Faults.table);
+            ("cache", counts_json r.Cccs.Faults.cache);
+            ("clean_cycles", int r.Cccs.Faults.clean_cycles);
+            ("faulty_cycles", int r.Cccs.Faults.faulty_cycles);
+          ]
+      in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("schema", Str "cccs-faults/1");
+                ("ok", Bool (!protected_silent = 0));
+                ("bench", Str bench);
+                ("seed", int seed);
+                ( "jobs",
+                  int
+                    (match jobs with
+                    | Some j -> j
+                    | None -> Cccs.Parallel.default_jobs ()) );
+                ("flips", int flips);
+                ("retries", int retries);
+                ( "campaigns",
+                  Arr
+                    (List.map
+                       (fun (t : Cccs.Faults.t) ->
+                         Obj
+                           [
+                             ( "protection",
+                               Str
+                                 (Encoding.Scheme.protection_name
+                                    t.Cccs.Faults.spec
+                                      .Cccs.Faults.protection) );
+                             ( "rows",
+                               Arr (List.map row_json t.Cccs.Faults.rows) );
+                           ])
+                       campaigns) );
+              ]))
+    end;
     if !protected_silent > 0 then begin
       Logs.err (fun m ->
           m "faults: %d silent corruption(s) leaked through CRC protection"
@@ -754,7 +827,81 @@ let faults_cmd =
           decode-table surfaces) over every scheme; nonzero exit if a \
           protected scheme delivers a silent corruption")
     Term.(const run $ setup_logs $ bench_arg $ flips_arg $ seed_arg
-          $ retries_arg $ protect_arg)
+          $ retries_arg $ protect_arg $ jobs_arg $ json_arg)
+
+let fuzz_cmd =
+  let seed_arg =
+    let doc = "Campaign seed; every case derives its own stream from it." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let runs_arg =
+    let doc = "Number of fuzz cases." in
+    Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Wall-clock budget in seconds; 0 means unlimited.  A positive budget \
+       truncates the campaign, so determinism holds only for (seed, runs)."
+    in
+    Arg.(value & opt float 0. & info [ "time-budget" ] ~docv:"SECONDS" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Worker domains (default: CCCS_JOBS)." in
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Machine-readable report (schema cccs-fuzz/1) on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let fixtures_arg =
+    let doc =
+      "Write a minimized repro fixture (JSON + OCaml snippet) per finding \
+       into $(docv)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fixtures-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run () seed runs time_budget jobs json fixtures_dir =
+    let spec = { Cccs_fuzz.Fuzz.seed; runs; jobs; time_budget; fixtures_dir } in
+    let r = Cccs_fuzz.Fuzz.run spec in
+    if json then
+      print_endline (Cccs_obs.Json.to_string (Cccs_fuzz.Fuzz.report_to_json r))
+    else begin
+      let t = r.Cccs_fuzz.Fuzz.tallies in
+      Format.printf
+        "fuzz: %d cases in %.1fs (%.0f/s): %d clean-ok, %d round-trip, %d \
+         detected, %d silent-unprotected, %d codeword steps@."
+        t.Cccs_fuzz.Fuzz.cases r.Cccs_fuzz.Fuzz.seconds
+        (float_of_int t.Cccs_fuzz.Fuzz.cases
+        /. Float.max 1e-9 r.Cccs_fuzz.Fuzz.seconds)
+        t.Cccs_fuzz.Fuzz.clean_ok t.Cccs_fuzz.Fuzz.roundtrip
+        t.Cccs_fuzz.Fuzz.detected t.Cccs_fuzz.Fuzz.silent_unprotected
+        t.Cccs_fuzz.Fuzz.codeword_steps;
+      List.iter
+        (fun (f : Cccs_fuzz.Fuzz.finding) ->
+          Format.printf "  FINDING case %d [%s] %s@." f.Cccs_fuzz.Fuzz.case.Cccs_fuzz.Fuzz.id
+            (Cccs_fuzz.Fuzz.kind_label f.Cccs_fuzz.Fuzz.kind)
+            (Cccs_obs.Json.to_string
+               (Cccs_fuzz.Fuzz.case_to_json f.Cccs_fuzz.Fuzz.case)))
+        r.Cccs_fuzz.Fuzz.findings
+    end;
+    if r.Cccs_fuzz.Fuzz.findings <> [] then begin
+      Logs.err (fun m ->
+          m "fuzz: %d finding(s)" (List.length r.Cccs_fuzz.Fuzz.findings));
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run the seeded differential fuzzing campaign: random program x \
+          scheme x protection x fault, every decoder (LUT, bit-serial, \
+          abstract, DFA replay) as an oracle against the others; findings \
+          are delta-minimized and exit nonzero")
+    Term.(const run $ setup_logs $ seed_arg $ runs_arg $ budget_arg $ jobs_arg
+          $ json_arg $ fixtures_arg)
 
 let disasm_cmd =
   let run () bench =
@@ -822,12 +969,13 @@ let stats_cmd =
          ~scheme:s.Cccs.Experiments.tailored
          ~att:(att s.Cccs.Experiments.tailored cfg)
          trace);
+    let fault_seed = 1999 in
     if flips > 0 then
       ignore
         (Cccs.Faults.run ~obs
            {
              Cccs.Faults.bench;
-             seed = 1999;
+             seed = fault_seed;
              flips;
              retries = 2;
              protection = Encoding.Scheme.Crc8;
@@ -842,6 +990,10 @@ let stats_cmd =
                   ("schema", Cccs_obs.Json.Str "cccs-stats/1");
                   ("bench", Cccs_obs.Json.Str bench);
                   ("events", Cccs_obs.Json.int (Cccs_obs.Recorder.length rc));
+                  (* Effective fault-campaign inputs, so the histogram's
+                     samples are reproducible from the snapshot alone. *)
+                  ("seed", Cccs_obs.Json.int fault_seed);
+                  ("flips", Cccs_obs.Json.int flips);
                 ]
               (Cccs_obs.Metrics.snapshot m)))
     else begin
@@ -921,6 +1073,7 @@ let () =
       validate_cmd;
       certify_cmd;
       faults_cmd;
+      fuzz_cmd;
       disasm_cmd;
       stats_cmd;
       export_cmd;

@@ -39,6 +39,10 @@ type row = {
   seconds : float;
 }
 
+(* Fixed seed of the per-workload fault campaign; echoed in the JSON so a
+   consumer can reproduce the exact campaign outside this sweep. *)
+let fault_seed = 7
+
 (* Per-workload report lines go through [emit] so a parallel sweep can
    buffer each workload's output and print it in suite order after the
    gather; at jobs=1 [emit] writes straight to [out] as before. *)
@@ -82,7 +86,7 @@ let check_workload ~emit (e : Workloads.Suite.entry) =
       Cccs.Faults.run
         {
           Cccs.Faults.bench = r.Cccs.Workload_run.name;
-          seed = 7;
+          seed = fault_seed;
           flips = 16;
           retries = 2;
           protection = Encoding.Scheme.Crc8;
@@ -189,7 +193,7 @@ let checks =
     ("fault-protection", fun r -> r.faults_ok);
   ]
 
-let json_report rows ok =
+let json_report ~jobs rows ok =
   let open Cccs_obs.Json in
   let row_json r =
     Obj
@@ -222,6 +226,8 @@ let json_report rows ok =
     [
       ("schema", Str "cccs-verify/1");
       ("ok", Bool ok);
+      ("seed", int fault_seed);
+      ("jobs", int jobs);
       ("workloads", Arr (List.map row_json rows));
       ("checks", Obj (List.map check_json checks));
     ]
@@ -277,7 +283,7 @@ let () =
       rows
   in
   if json_mode then
-    print_endline (Cccs_obs.Json.to_string (json_report rows ok));
+    print_endline (Cccs_obs.Json.to_string (json_report ~jobs rows ok));
   if ok then Printf.fprintf out "verify_all: all workloads verified\n"
   else begin
     Printf.fprintf out "verify_all: FAILURES\n";

@@ -25,6 +25,14 @@ module Rng = struct
     if bound <= 0 then invalid_arg "Faults.Rng.int: bound must be positive";
     Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int)
                     (Int64.of_int bound))
+
+  (* Decorrelate a base seed by a label.  Must never return 0: [create]
+     maps 0 to a fixed constant, so two labels whose mixes both landed on
+     0 would collapse onto the same stream. *)
+  let mix base label =
+    let h = ref base in
+    String.iter (fun c -> h := (!h * 131) + Char.code c) label;
+    if !h = 0 then 1 else !h
 end
 
 type counts = {
@@ -303,11 +311,8 @@ let cache_campaign ?obs rng ~flips ~retries (name, (sc : Encoding.Scheme.t))
 (* ------------------------------------------------------------------ *)
 
 (* Per-scheme seeds must be decorrelated but reproducible: mix the scheme
-   name into the campaign seed with a small string hash. *)
-let scheme_seed base name =
-  let h = ref base in
-  String.iter (fun c -> h := (!h * 131) + Char.code c) name;
-  if !h = 0 then 1 else !h
+   name into the campaign seed. *)
+let scheme_seed = Rng.mix
 
 (* The campaign scheme set by name only: parallel workers look the actual
    scheme values up in their own domain-local Experiments memo, so a

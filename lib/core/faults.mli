@@ -20,11 +20,20 @@
 module Rng : sig
   type t
 
+  (** [create seed] — seed 0 is mapped to a fixed nonzero constant:
+      xorshift64 has fixed point 0, so an all-zero state would emit an
+      all-zero stream forever. *)
   val create : int -> t
 
   (** [int t bound] — uniform-ish draw in [\[0, bound)].  Raises
       [Invalid_argument] when [bound <= 0]. *)
   val int : t -> int -> int
+
+  (** [mix base label] — derive a decorrelated, reproducible seed for
+      [label] (a scheme name, a fuzz-case id, ...) from campaign seed
+      [base].  Never returns 0, so no two labels can collapse onto the
+      stream that [create 0]'s zero-guard produces. *)
+  val mix : int -> string -> int
 end
 
 type counts = {

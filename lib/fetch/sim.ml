@@ -48,7 +48,8 @@ let ops_equal a b =
    so that the event value is only ever constructed when a sink is
    installed — a plain run allocates nothing and the results are
    bit-identical with and without [?obs] (the sink never feeds back). *)
-let run ?faults ?obs ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
+let run_iter ?faults ?obs ~model ~cfg ~scheme ~(att : Encoding.Att.t)
+    iter_blocks =
   let cache = Line_cache.create cfg in
   let atb = Atb.create cfg ~num_blocks:(Array.length att.Encoding.Att.entries) in
   let l0 = L0_buffer.create cfg in
@@ -94,7 +95,7 @@ let run ?faults ?obs ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
   let line_beats =
     (cfg.Config.line_bits + cfg.Config.bus_bits - 1) / cfg.Config.bus_bits
   in
-  Emulator.Trace.iter
+  iter_blocks
     (fun b ->
       let e = att.Encoding.Att.entries.(b) in
       let offset_bits = scheme.Encoding.Scheme.block_offset_bits.(b) in
@@ -366,14 +367,13 @@ let run ?faults ?obs ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
           + Line_cache.touch_block cache ~offset_bits:p_off ~size_bits:p_sz
       end;
       prev := Some b;
-      incr visit)
-    trace;
+      incr visit);
   {
     model = model_name model;
     cycles = !cycles;
     ops_delivered = !ops;
     mops_delivered = !mops;
-    block_visits = Emulator.Trace.length trace;
+    block_visits = !visit;
     ipc =
       (if !cycles = 0 then 0. else float_of_int !ops /. float_of_int !cycles);
     l1_hits = !l1_hits;
@@ -393,10 +393,10 @@ let run ?faults ?obs ~model ~cfg ~scheme ~(att : Encoding.Att.t) trace =
     recovery_cycles = !recovery;
   }
 
-let run_ideal ?obs ~(att : Encoding.Att.t) trace =
+let run_ideal_iter ?obs ~(att : Encoding.Att.t) iter_blocks =
   let cycles = ref 0 and ops = ref 0 and mops = ref 0 in
   let visit = ref 0 in
-  Emulator.Trace.iter
+  iter_blocks
     (fun b ->
       let e = att.Encoding.Att.entries.(b) in
       (match obs with
@@ -412,14 +412,13 @@ let run_ideal ?obs ~(att : Encoding.Att.t) trace =
       cycles := !cycles + e.Encoding.Att.mops;
       ops := !ops + e.Encoding.Att.ops;
       mops := !mops + e.Encoding.Att.mops;
-      incr visit)
-    trace;
+      incr visit);
   {
     model = "ideal";
     cycles = !cycles;
     ops_delivered = !ops;
     mops_delivered = !mops;
-    block_visits = Emulator.Trace.length trace;
+    block_visits = !visit;
     ipc =
       (if !cycles = 0 then 0. else float_of_int !ops /. float_of_int !cycles);
     l1_hits = 0;
@@ -438,6 +437,13 @@ let run_ideal ?obs ~(att : Encoding.Att.t) trace =
     machine_checks = 0;
     recovery_cycles = 0;
   }
+
+let run ?faults ?obs ~model ~cfg ~scheme ~att trace =
+  run_iter ?faults ?obs ~model ~cfg ~scheme ~att (fun f ->
+      Emulator.Trace.iter f trace)
+
+let run_ideal ?obs ~att trace =
+  run_ideal_iter ?obs ~att (fun f -> Emulator.Trace.iter f trace)
 
 (* Full-record CSV: the one machine-readable path shared by the figure
    exports and the fault campaigns (`cccs export`, section "sim"). *)

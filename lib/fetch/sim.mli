@@ -97,6 +97,30 @@ val run :
 val run_ideal :
   ?obs:Cccs_obs.Sink.t -> att:Encoding.Att.t -> Emulator.Trace.t -> result
 
+(** {1 Streaming entry points}
+
+    [run_iter] and [run_ideal_iter] are [run]/[run_ideal] generalized over
+    a push iterator: [iter_blocks f] must call [f] once per block visit, in
+    trace order.  This is how million-visit traces stream through the
+    simulator in bounded memory — pair with
+    [Workloads.Trace_stream.with_blocks], which replays a chunked on-disk
+    trace without ever materializing it ([run trace] is literally
+    [run_iter (fun f -> Emulator.Trace.iter f trace)]).  [block_visits] in
+    the result counts the calls the iterator actually made. *)
+
+val run_iter :
+  ?faults:fault_plan ->
+  ?obs:Cccs_obs.Sink.t ->
+  model:Config.model ->
+  cfg:Config.t ->
+  scheme:Encoding.Scheme.t ->
+  att:Encoding.Att.t ->
+  ((int -> unit) -> unit) ->
+  result
+
+val run_ideal_iter :
+  ?obs:Cccs_obs.Sink.t -> att:Encoding.Att.t -> ((int -> unit) -> unit) -> result
+
 val pp : Format.formatter -> result -> unit
 
 (** Full-record CSV row for [result] — the single machine-readable path

@@ -1,0 +1,330 @@
+(* Chunked binary block-trace format.  See the .mli for the byte layout.
+
+   The writer is straightforward buffered output.  The reader is the part
+   that earns its keep: every malformed input — short header, short chunk,
+   a length field that lies, a payload whose CRC disagrees — must come
+   back as a typed [error], because the fuzzing campaign and the fetch
+   simulator both treat this path as total.  No allocation is ever sized
+   by an unvalidated length field. *)
+
+let magic = "CCCSTRC1"
+let version = 1
+let header_bytes = 40
+let max_chunk_visits = 1 lsl 20
+let default_chunk_visits = 65536
+
+(* A varint holds at most 62 payload bits (Writer.add is guarded), i.e.
+   ceil 62/7 = 9 bytes; 10 is the format's hard per-visit bound. *)
+let max_varint_bytes = 10
+
+type error =
+  | Io_error of { path : string; message : string }
+  | Truncated_header of { got_bytes : int }
+  | Bad_magic of { got : string }
+  | Bad_version of { got : int }
+  | Bad_chunk_length of { chunk : int; count : int; nbytes : int }
+  | Truncated_chunk of { chunk : int; wanted_bytes : int; got_bytes : int }
+  | Corrupt_chunk of { chunk : int; stored_crc : int; computed_crc : int }
+  | Bad_varint of { chunk : int; index : int }
+  | Visit_count_mismatch of { header : int; read : int }
+
+let error_to_string = function
+  | Io_error { path; message } -> Printf.sprintf "%s: %s" path message
+  | Truncated_header { got_bytes } ->
+      Printf.sprintf "truncated header: %d of %d bytes" got_bytes header_bytes
+  | Bad_magic { got } -> Printf.sprintf "bad magic %S (want %S)" got magic
+  | Bad_version { got } -> Printf.sprintf "unsupported version %d" got
+  | Bad_chunk_length { chunk; count; nbytes } ->
+      Printf.sprintf "chunk %d: implausible length fields count=%d nbytes=%d"
+        chunk count nbytes
+  | Truncated_chunk { chunk; wanted_bytes; got_bytes } ->
+      Printf.sprintf "chunk %d: truncated, %d of %d bytes" chunk got_bytes
+        wanted_bytes
+  | Corrupt_chunk { chunk; stored_crc; computed_crc } ->
+      Printf.sprintf "chunk %d: payload CRC %#x, stored guard %#x" chunk
+        computed_crc stored_crc
+  | Bad_varint { chunk; index } ->
+      Printf.sprintf "chunk %d: malformed varint at visit %d" chunk index
+  | Visit_count_mismatch { header; read } ->
+      Printf.sprintf "header promises %d visits, chunks hold %d" header read
+
+(* ------------------------------------------------------------------ *)
+(* Little-endian field helpers.                                        *)
+
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let set_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let get_u64 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let crc16 payload =
+  Bits.Crc.of_string ~width:16 ~poly:Bits.Crc.crc16_poly payload
+
+(* ------------------------------------------------------------------ *)
+(* Writer.                                                             *)
+
+type writer = {
+  path : string;
+  oc : out_channel;
+  chunk_visits : int;
+  payload : Buffer.t;
+  mutable chunk_count : int;  (* visits buffered in [payload] *)
+  mutable visits : int;
+  mutable ops : int;
+  mutable mops : int;
+  mutable closed : bool;
+}
+
+let header_of w =
+  let b = Bytes.create header_bytes in
+  Bytes.blit_string magic 0 b 0 8;
+  set_u32 b 8 version;
+  set_u32 b 12 w.chunk_visits;
+  set_u64 b 16 w.visits;
+  set_u64 b 24 w.ops;
+  set_u64 b 32 w.mops;
+  b
+
+let create ?(chunk_visits = default_chunk_visits) path =
+  let chunk_visits = max 1 (min max_chunk_visits chunk_visits) in
+  let oc = open_out_bin path in
+  let w =
+    {
+      path;
+      oc;
+      chunk_visits;
+      payload = Buffer.create 4096;
+      chunk_count = 0;
+      visits = 0;
+      ops = 0;
+      mops = 0;
+      closed = false;
+    }
+  in
+  output_bytes oc (header_of w);
+  w
+
+let flush_chunk w =
+  if w.chunk_count > 0 then begin
+    let payload = Buffer.contents w.payload in
+    let hd = Bytes.create 8 in
+    set_u32 hd 0 w.chunk_count;
+    set_u32 hd 4 (String.length payload);
+    output_bytes w.oc hd;
+    output_string w.oc payload;
+    let tl = Bytes.create 2 in
+    Bytes.set_uint16_le tl 0 (crc16 payload);
+    output_bytes w.oc tl;
+    Buffer.clear w.payload;
+    w.chunk_count <- 0
+  end
+
+let add w block =
+  if w.closed then invalid_arg "Trace_stream.add: writer is closed";
+  if block < 0 || block > 0x3FFFFFFFFFFFFFF then
+    invalid_arg "Trace_stream.add: block id out of range";
+  (* LEB128, least-significant 7-bit group first. *)
+  let v = ref block in
+  let continue = ref true in
+  while !continue do
+    let g = !v land 0x7F in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char w.payload (Char.chr g);
+      continue := false
+    end
+    else Buffer.add_char w.payload (Char.chr (g lor 0x80))
+  done;
+  w.chunk_count <- w.chunk_count + 1;
+  w.visits <- w.visits + 1;
+  if w.chunk_count >= w.chunk_visits then flush_chunk w
+
+let record_ops w ~ops ~mops =
+  w.ops <- w.ops + ops;
+  w.mops <- w.mops + mops
+
+let visits_written w = w.visits
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    flush_chunk w;
+    (* Patch the header in place with the true totals. *)
+    seek_out w.oc 0;
+    output_bytes w.oc (header_of w);
+    close_out w.oc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reader.                                                             *)
+
+type header = { visits : int; ops : int; mops : int; chunk_visits : int }
+
+(* [read_exactly ic buf n] — up to [n] bytes into [buf]; returns how many
+   were actually available (short only at end of file). *)
+let read_exactly ic buf n =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < n do
+    let k = input ic buf !got (n - !got) in
+    if k = 0 then eof := true else got := !got + k
+  done;
+  !got
+
+let parse_header buf got =
+  if got < header_bytes then Error (Truncated_header { got_bytes = got })
+  else
+    let m = Bytes.sub_string buf 0 8 in
+    if not (String.equal m magic) then Error (Bad_magic { got = m })
+    else
+      let v = get_u32 buf 8 in
+      if v <> version then Error (Bad_version { got = v })
+      else
+        Ok
+          {
+            chunk_visits = get_u32 buf 12;
+            visits = get_u64 buf 16;
+            ops = get_u64 buf 24;
+            mops = get_u64 buf 32;
+          }
+
+let with_ic path k =
+  match open_in_bin path with
+  | exception Sys_error message -> Error (Io_error { path; message })
+  | ic -> Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> k ic)
+
+let read_header path =
+  with_ic path (fun ic ->
+      let buf = Bytes.create header_bytes in
+      parse_header buf (read_exactly ic buf header_bytes))
+
+(* Decode [count] varints from [payload] (length [nbytes]), feeding [f].
+   Returns the number of payload bytes consumed, or a malformed index. *)
+let decode_varints payload nbytes count f =
+  let off = ref 0 in
+  let bad = ref (-1) in
+  let i = ref 0 in
+  while !bad < 0 && !i < count do
+    let v = ref 0 and shift = ref 0 and fin = ref false in
+    while (not !fin) && !bad < 0 do
+      if !off >= nbytes then bad := !i
+      else begin
+        let b = Char.code (Bytes.get payload !off) in
+        incr off;
+        let g = b land 0x7F in
+        (* Reject any group that would push the value past 62 bits. *)
+        if !shift > 62 || (!shift > 55 && g lsr (62 - !shift) <> 0) then
+          bad := !i
+        else begin
+          v := !v lor (g lsl !shift);
+          shift := !shift + 7;
+          if b land 0x80 = 0 then fin := true
+        end
+      end
+    done;
+    if !bad < 0 then begin
+      f !v;
+      incr i
+    end
+  done;
+  if !bad >= 0 then Error !bad else Ok !off
+
+let fold path ~init ~f =
+  with_ic path (fun ic ->
+      let hbuf = Bytes.create header_bytes in
+      match parse_header hbuf (read_exactly ic hbuf header_bytes) with
+      | Error e -> Error e
+      | Ok header ->
+          let chunk_hd = Bytes.create 8 in
+          let payload = ref (Bytes.create 4096) in
+          let acc = ref init in
+          let total = ref 0 in
+          let chunk = ref 0 in
+          let result = ref None in
+          let fail e = result := Some (Error e) in
+          while !result = None do
+            match read_exactly ic chunk_hd 8 with
+            | 0 ->
+                (* Clean end of stream: the header total must agree. *)
+                if !total <> header.visits then
+                  fail
+                    (Visit_count_mismatch
+                       { header = header.visits; read = !total })
+                else result := Some (Ok !acc)
+            | 8 -> (
+                let count = get_u32 chunk_hd 0 in
+                let nbytes = get_u32 chunk_hd 4 in
+                if
+                  count < 1
+                  || count > max_chunk_visits
+                  || nbytes < count
+                  || nbytes > max_varint_bytes * count
+                then fail (Bad_chunk_length { chunk = !chunk; count; nbytes })
+                else begin
+                  if Bytes.length !payload < nbytes + 2 then
+                    payload := Bytes.create (nbytes + 2);
+                  let got = read_exactly ic !payload (nbytes + 2) in
+                  if got < nbytes + 2 then
+                    fail
+                      (Truncated_chunk
+                         {
+                           chunk = !chunk;
+                           wanted_bytes = nbytes + 2;
+                           got_bytes = got;
+                         })
+                  else begin
+                    let stored = Bytes.get_uint16_le !payload nbytes in
+                    let computed =
+                      crc16 (Bytes.sub_string !payload 0 nbytes)
+                    in
+                    if stored <> computed then
+                      fail
+                        (Corrupt_chunk
+                           {
+                             chunk = !chunk;
+                             stored_crc = stored;
+                             computed_crc = computed;
+                           })
+                    else
+                      match
+                        decode_varints !payload nbytes count (fun v ->
+                            acc := f !acc v)
+                      with
+                      | Error index ->
+                          fail (Bad_varint { chunk = !chunk; index })
+                      | Ok consumed when consumed <> nbytes ->
+                          (* Leftover payload bytes: the count and byte
+                             length fields disagree about the contents. *)
+                          fail
+                            (Bad_chunk_length
+                               { chunk = !chunk; count; nbytes })
+                      | Ok _ ->
+                          total := !total + count;
+                          incr chunk
+                  end
+                end)
+            | got ->
+                fail
+                  (Truncated_chunk
+                     { chunk = !chunk; wanted_bytes = 8; got_bytes = got })
+          done;
+          (match !result with Some r -> r | None -> assert false))
+
+let iter path ~f =
+  match read_header path with
+  | Error e -> Error e
+  | Ok header -> (
+      match fold path ~init:() ~f:(fun () v -> f v) with
+      | Ok () -> Ok header
+      | Error e -> Error e)
+
+exception Format_error of error
+
+let with_blocks path ~f =
+  let iter_fn g =
+    match fold path ~init:() ~f:(fun () v -> g v) with
+    | Ok () -> ()
+    | Error e -> raise (Format_error e)
+  in
+  match f iter_fn with
+  | v -> Ok v
+  | exception Format_error e -> Error e

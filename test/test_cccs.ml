@@ -19,4 +19,6 @@ let () =
       ("faults", Test_faults.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
+      ("trace_stream", Test_trace_stream.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -165,6 +165,51 @@ let test_rng_deterministic () =
   done;
   Alcotest.(check bool) "different seed, different stream" true !differs
 
+let test_rng_zero_seed () =
+  (* xorshift64 has fixed point 0: an all-zero state would emit an all-zero
+     stream forever.  [create 0] must map to a nonzero state and produce a
+     live stream. *)
+  let r = Cccs.Faults.Rng.create 0 in
+  let nonzero = ref false in
+  for _ = 1 to 50 do
+    if Cccs.Faults.Rng.int r 1_000_000 <> 0 then nonzero := true
+  done;
+  Alcotest.(check bool) "seed 0 produces a live stream" true !nonzero;
+  (* ... and distinct draws, not a constant. *)
+  let r = Cccs.Faults.Rng.create 0 in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 50 do
+    Hashtbl.replace seen (Cccs.Faults.Rng.int r 1_000_000) ()
+  done;
+  Alcotest.(check bool) "seed 0 stream varies" true (Hashtbl.length seen > 10)
+
+let test_rng_mix_decorrelates () =
+  (* Distinct labels (scheme names, case ids) must yield distinct streams
+     from the same base seed, and [mix] never returns 0 (which [create]
+     would collapse onto its zero-guard constant). *)
+  let labels = [ "base"; "byte"; "stream"; "stream_1"; "full"; "tailored" ] in
+  List.iter
+    (fun base ->
+      let streams =
+        List.map
+          (fun l ->
+            let m = Cccs.Faults.Rng.mix base l in
+            Alcotest.(check bool)
+              (Printf.sprintf "mix %d %S nonzero" base l)
+              true (m <> 0);
+            let r = Cccs.Faults.Rng.create m in
+            List.init 8 (fun _ -> Cccs.Faults.Rng.int r 1_000_000))
+          labels
+      in
+      let distinct = List.sort_uniq compare streams in
+      check
+        (Printf.sprintf "base %d: all labels decorrelated" base)
+        (List.length labels) (List.length distinct))
+    [ 0; 1; 42; 1999 ];
+  (* Determinism of the mix itself. *)
+  check "mix is a pure function" (Cccs.Faults.Rng.mix 7 "full")
+    (Cccs.Faults.Rng.mix 7 "full")
+
 let test_campaign_protected_no_sdc () =
   (* The acceptance property: a fixed-seed campaign over all six schemes —
      protected mode has zero silent corruptions, nonzero detections and a
@@ -371,6 +416,10 @@ let suite =
       test_unprotected_decoder_misses_flips;
     Alcotest.test_case "campaign rng deterministic" `Quick
       test_rng_deterministic;
+    Alcotest.test_case "rng zero-seed fixed point guarded" `Quick
+      test_rng_zero_seed;
+    Alcotest.test_case "rng mix decorrelates labels" `Quick
+      test_rng_mix_decorrelates;
     Alcotest.test_case "campaign: protected has zero SDC" `Slow
       test_campaign_protected_no_sdc;
     Alcotest.test_case "sim recovers a cache upset" `Quick

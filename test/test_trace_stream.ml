@@ -1,0 +1,298 @@
+(* Property tests for the chunked binary trace format.
+
+   The contract under test: every well-formed trace round-trips bit-exactly
+   through writer -> reader, and every malformed file — truncated header,
+   truncated chunk, corrupted length field, corrupted payload — surfaces as
+   a typed [Trace_stream.error].  Readers must never raise and never
+   silently return a short visit sequence. *)
+
+module Ts = Workloads.Trace_stream
+
+let tmp_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cccs_ts_test_%d_%d.trc" (Unix.getpid ()) !n)
+
+let with_tmp f =
+  let path = tmp_path () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let write_trace ?chunk_visits path visits ~ops ~mops =
+  let w = Ts.create ?chunk_visits path in
+  List.iter (Ts.add w) visits;
+  Ts.record_ops w ~ops ~mops;
+  Ts.close w
+
+let read_all path =
+  Ts.fold path ~init:[] ~f:(fun acc b -> b :: acc)
+  |> Result.map List.rev
+
+let err_label = function
+  | Ts.Io_error _ -> "io"
+  | Ts.Truncated_header _ -> "truncated_header"
+  | Ts.Bad_magic _ -> "bad_magic"
+  | Ts.Bad_version _ -> "bad_version"
+  | Ts.Bad_chunk_length _ -> "bad_chunk_length"
+  | Ts.Truncated_chunk _ -> "truncated_chunk"
+  | Ts.Corrupt_chunk _ -> "corrupt_chunk"
+  | Ts.Bad_varint _ -> "bad_varint"
+  | Ts.Visit_count_mismatch _ -> "visit_count_mismatch"
+
+let check_error name expected = function
+  | Ok _ -> Alcotest.failf "%s: expected %s, got Ok" name expected
+  | Error e ->
+      Alcotest.(check string) name expected (err_label e)
+
+let file_bytes path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let write_bytes path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+(* Deterministic visit sequences exercising small and large block ids
+   (1-byte through multi-byte varints). *)
+let gen_visits rng n =
+  List.init n (fun _ ->
+      match Cccs.Faults.Rng.int rng 4 with
+      | 0 -> Cccs.Faults.Rng.int rng 128
+      | 1 -> Cccs.Faults.Rng.int rng 16_384
+      | 2 -> Cccs.Faults.Rng.int rng 2_097_152
+      | _ -> Cccs.Faults.Rng.int rng 1_000_000_000)
+
+let test_roundtrip () =
+  let rng = Cccs.Faults.Rng.create 7 in
+  List.iter
+    (fun (n, chunk_visits) ->
+      with_tmp (fun path ->
+          let visits = gen_visits rng n in
+          write_trace ?chunk_visits path visits ~ops:(3 * n) ~mops:(2 * n);
+          (match read_all path with
+          | Error e ->
+              Alcotest.failf "n=%d: %s" n (Ts.error_to_string e)
+          | Ok got ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "n=%d round-trips" n)
+                visits got);
+          match Ts.read_header path with
+          | Error e -> Alcotest.failf "header: %s" (Ts.error_to_string e)
+          | Ok h ->
+              Alcotest.(check int) "header visits" n h.Ts.visits;
+              Alcotest.(check int) "header ops" (3 * n) h.Ts.ops;
+              Alcotest.(check int) "header mops" (2 * n) h.Ts.mops))
+    [
+      (0, None);
+      (1, None);
+      (5, Some 1);
+      (1000, Some 7);
+      (1000, Some 1000);
+      (4096, None);
+    ]
+
+let test_iter_fold_agree () =
+  with_tmp (fun path ->
+      let rng = Cccs.Faults.Rng.create 11 in
+      let visits = gen_visits rng 500 in
+      write_trace ~chunk_visits:64 path visits ~ops:0 ~mops:0;
+      let via_iter = ref [] in
+      (match Ts.iter path ~f:(fun b -> via_iter := b :: !via_iter) with
+      | Error e -> Alcotest.failf "iter: %s" (Ts.error_to_string e)
+      | Ok h -> Alcotest.(check int) "iter header visits" 500 h.Ts.visits);
+      let via_fold =
+        match read_all path with
+        | Ok l -> l
+        | Error e -> Alcotest.failf "fold: %s" (Ts.error_to_string e)
+      in
+      Alcotest.(check (list int))
+        "iter and fold agree" via_fold (List.rev !via_iter))
+
+let test_with_blocks () =
+  with_tmp (fun path ->
+      let visits = [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+      write_trace ~chunk_visits:3 path visits ~ops:0 ~mops:0;
+      (match
+         Ts.with_blocks path ~f:(fun iter_blocks ->
+             let acc = ref [] in
+             iter_blocks (fun b -> acc := b :: !acc);
+             List.rev !acc)
+       with
+      | Error e -> Alcotest.failf "with_blocks: %s" (Ts.error_to_string e)
+      | Ok got -> Alcotest.(check (list int)) "with_blocks streams" visits got);
+      (* Callback exceptions propagate unchanged — they are the consumer's,
+         not the format's. *)
+      match
+        try
+          ignore
+            (Ts.with_blocks path ~f:(fun iter_blocks ->
+                 iter_blocks (fun _ -> failwith "consumer")));
+          `No_raise
+        with Failure m -> `Raised m
+      with
+      | `Raised m -> Alcotest.(check string) "callback exn surfaces" "consumer" m
+      | `No_raise -> Alcotest.fail "callback exception was swallowed")
+
+let test_truncated_header () =
+  with_tmp (fun path ->
+      write_trace path [ 1; 2; 3 ] ~ops:0 ~mops:0;
+      let full = file_bytes path in
+      (* Every strict prefix of the header must be Truncated_header. *)
+      for n = 0 to 39 do
+        with_tmp (fun p ->
+            write_bytes p (Bytes.sub full 0 n);
+            check_error
+              (Printf.sprintf "prefix %d" n)
+              "truncated_header" (read_all p);
+            check_error
+              (Printf.sprintf "read_header prefix %d" n)
+              "truncated_header" (Ts.read_header p))
+      done)
+
+let test_bad_magic_version () =
+  with_tmp (fun path ->
+      write_trace path [ 1; 2; 3 ] ~ops:0 ~mops:0;
+      let full = file_bytes path in
+      with_tmp (fun p ->
+          let b = Bytes.copy full in
+          Bytes.set b 0 'X';
+          write_bytes p b;
+          check_error "magic" "bad_magic" (read_all p));
+      with_tmp (fun p ->
+          let b = Bytes.copy full in
+          Bytes.set b 8 '\x07';
+          write_bytes p b;
+          check_error "version" "bad_version" (read_all p)))
+
+let test_truncated_chunk () =
+  with_tmp (fun path ->
+      let visits = List.init 100 (fun i -> i * 31) in
+      write_trace ~chunk_visits:100 path visits ~ops:0 ~mops:0;
+      let full = file_bytes path in
+      let len = Bytes.length full in
+      (* Cut inside the chunk header (4 of 8 bytes) and inside the
+         payload/crc region.  A silent short read would return Ok with
+         fewer visits — the typed error is the whole point. *)
+      List.iter
+        (fun cut ->
+          with_tmp (fun p ->
+              write_bytes p (Bytes.sub full 0 cut);
+              check_error
+                (Printf.sprintf "cut at %d" cut)
+                "truncated_chunk" (read_all p)))
+        [ 44; 48 + ((len - 48) / 2); len - 1 ])
+
+let test_corrupted_length_fields () =
+  with_tmp (fun path ->
+      write_trace ~chunk_visits:64 path
+        (List.init 64 (fun i -> i))
+        ~ops:0 ~mops:0;
+      let full = file_bytes path in
+      let set_u32 b off v =
+        Bytes.set_int32_le b off (Int32.of_int v)
+      in
+      let expect name f expected =
+        with_tmp (fun p ->
+            let b = Bytes.copy full in
+            f b;
+            write_bytes p b;
+            check_error name expected (read_all p))
+      in
+      (* count = 0 violates count >= 1. *)
+      expect "zero count" (fun b -> set_u32 b 40 0) "bad_chunk_length";
+      (* count > max_chunk_visits. *)
+      expect "huge count"
+        (fun b -> set_u32 b 40 (Ts.max_chunk_visits + 1))
+        "bad_chunk_length";
+      (* nbytes < count (a varint is at least one byte). *)
+      expect "short nbytes" (fun b -> set_u32 b 44 3) "bad_chunk_length";
+      (* nbytes > 10 * count. *)
+      expect "long nbytes" (fun b -> set_u32 b 44 (64 * 11)) "bad_chunk_length")
+
+let test_corrupted_payload () =
+  with_tmp (fun path ->
+      write_trace ~chunk_visits:64 path
+        (List.init 64 (fun i -> i + 100))
+        ~ops:0 ~mops:0;
+      let full = file_bytes path in
+      (* Flip one bit in the middle of the payload: CRC must catch it. *)
+      let off = 48 + ((Bytes.length full - 50) / 2) in
+      let b = Bytes.copy full in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x10));
+      with_tmp (fun p ->
+          write_bytes p b;
+          check_error "flipped payload bit" "corrupt_chunk" (read_all p)))
+
+let test_visit_count_mismatch () =
+  with_tmp (fun path ->
+      write_trace ~chunk_visits:16 path
+        (List.init 48 (fun i -> i))
+        ~ops:0 ~mops:0;
+      let full = file_bytes path in
+      (* Lie in the header's visit total: chunks parse cleanly but the
+         cross-check at EOF must fire. *)
+      let b = Bytes.copy full in
+      Bytes.set_int64_le b 16 49L;
+      with_tmp (fun p ->
+          write_bytes p b;
+          check_error "inflated header total" "visit_count_mismatch"
+            (read_all p)))
+
+let test_missing_file_and_writer_guards () =
+  check_error "missing file" "io" (read_all "/nonexistent/cccs-ts.trc");
+  with_tmp (fun path ->
+      let w = Ts.create ~chunk_visits:4 path in
+      (match try Ok (Ts.add w (-1)) with Invalid_argument _ -> Error () with
+      | Error () -> ()
+      | Ok () -> Alcotest.fail "negative block id accepted");
+      Ts.add w 5;
+      Alcotest.(check int) "visits_written" 1 (Ts.visits_written w);
+      Ts.close w;
+      Ts.close w;
+      (* idempotent *)
+      match read_all path with
+      | Ok [ 5 ] -> ()
+      | Ok l -> Alcotest.failf "got %d visits" (List.length l)
+      | Error e -> Alcotest.failf "reopen: %s" (Ts.error_to_string e))
+
+(* QCheck property: arbitrary visit lists and chunk sizes round-trip. *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"trace_stream round-trip" ~count:60
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 300) (int_range 0 (1 lsl 30)))
+        (int_range 1 64))
+    (fun (visits, chunk_visits) ->
+      with_tmp (fun path ->
+          write_trace ~chunk_visits path visits ~ops:0 ~mops:0;
+          match read_all path with
+          | Ok got -> got = visits
+          | Error _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "round-trip (sizes and chunking)" `Quick test_roundtrip;
+    Alcotest.test_case "iter agrees with fold" `Quick test_iter_fold_agree;
+    Alcotest.test_case "with_blocks push iterator" `Quick test_with_blocks;
+    Alcotest.test_case "truncated header (every prefix)" `Quick
+      test_truncated_header;
+    Alcotest.test_case "bad magic / bad version" `Quick test_bad_magic_version;
+    Alcotest.test_case "truncated chunk" `Quick test_truncated_chunk;
+    Alcotest.test_case "corrupted length fields" `Quick
+      test_corrupted_length_fields;
+    Alcotest.test_case "corrupted payload (CRC)" `Quick test_corrupted_payload;
+    Alcotest.test_case "visit-count cross-check" `Quick
+      test_visit_count_mismatch;
+    Alcotest.test_case "io error and writer guards" `Quick
+      test_missing_file_and_writer_guards;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]
