@@ -35,6 +35,46 @@ let program () = (Lazy.force fixture).Cccs.Workload_run.compiled.Cccs.Pipeline.p
 let trace () = (Lazy.force fixture).Cccs.Workload_run.exec.Emulator.Exec.trace
 
 (* ------------------------------------------------------------------ *)
+(* Cross-run plumbing: the telemetry ledger and --flame spans.         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every mode appends its result rows to the ledger (CCCS_LEDGER=off
+   disables), so `cccs perfdiff` can compare consecutive runs. *)
+let ledger_append ~kind ?(schemes = []) ?(meta = []) rows =
+  if Cccs_obs.Ledger.enabled () then
+    try
+      Cccs_obs.Ledger.append
+        ~path:(Cccs_obs.Ledger.default_path ())
+        (Cccs_obs.Ledger.make ~kind
+           ~git_rev:(Cccs_obs.Ledger.git_rev ())
+           ~timestamp:(Unix.gettimeofday ())
+           ~cores:(Cccs.Parallel.cores ())
+           ~jobs:(Cccs.Parallel.default_jobs ())
+           ~schemes ~meta rows)
+    with Sys_error msg -> Printf.eprintf "ledger: %s\n%!" msg
+
+(* --flame FILE: one recorder for the whole run; each phase below wraps
+   itself in a Bench-stage span through [bspan]. *)
+let flame_obs : Cccs_obs.Sink.t option ref = ref None
+
+let bspan label f =
+  match !flame_obs with
+  | None -> f ()
+  | Some obs -> Cccs_obs.Sink.timed ~obs ~stage:Cccs_obs.Event.Bench ~label f
+
+let flame_path () =
+  let p = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--flame" && i + 1 < Array.length Sys.argv then
+        p := Some Sys.argv.(i + 1)
+      else if
+        String.length a > 8 && String.sub a 0 8 = "--flame="
+      then p := Some (String.sub a 8 (String.length a - 8)))
+    Sys.argv;
+  !p
+
+(* ------------------------------------------------------------------ *)
 (* One benchmark group per figure.                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -237,8 +277,16 @@ let run_benchmarks () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
+  (* Noise fix: the old limit:200 / quota:0.5s / default Geometric 1.01
+     sampling gave some rows so few (and so uniform) run counts that the
+     OLS fit had negative r-square.  A 1s minimum-runtime quota, a higher
+     sample cap and a steeper sampling ratio give the fit real spread;
+     rows that still miss the r-square gate (e.g. certify/compress runs
+     near the quota itself) are marked untrusted below rather than
+     compared. *)
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.0)
+      ~sampling:(`Geometric 1.05) ~kde:(Some 10) ()
   in
   let raw = Benchmark.all cfg instances all_tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -255,30 +303,35 @@ let run_benchmarks () =
       let r2 =
         match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
       in
-      Printf.printf "%-42s %16.1f %8.3f\n" name est r2;
-      if Float.is_nan est then None else Some (name, est, r2))
+      let trusted = Float.is_finite r2 && r2 >= 0.9 in
+      Printf.printf "%-42s %16.1f %8.3f%s\n" name est r2
+        (if trusted then "" else "  (untrusted)");
+      if Float.is_nan est then None else Some (name, est, r2, trusted))
     (List.sort compare rows)
 
 (* Machine-readable copy of the table above, archived by CI so timing
    regressions can be compared across runs. *)
 let write_obs rows =
   let open Cccs_obs.Json in
-  let row_json (name, ns, r2) =
+  let row_json (name, ns, r2, trusted) =
     Obj
       [
         ("name", Str name);
         ("ns_per_run", Num ns);
         ("r_square", Num r2);
+        ("trusted", Bool trusted);
       ]
   in
+  let json_rows = List.map row_json rows in
   let j =
     Obj
       [
         ("schema", Str "cccs-bench/1");
-        ("results", Arr (List.map row_json rows));
+        ("results", Arr json_rows);
       ]
   in
   Cccs_obs.Export.write_file "BENCH_obs.json" (to_string j ^ "\n");
+  ledger_append ~kind:"bench" json_rows;
   Printf.printf "\nwrote %d benchmark rows to BENCH_obs.json\n"
     (List.length rows)
 
@@ -405,19 +458,23 @@ let throughput book data nsyms =
     done;
     float_of_int !passes *. bytes /. 1e6 /. !elapsed
   in
-  let best_t = ref 0.0 and best_s = ref 0.0 and best_0 = ref 0.0 in
+  let wt = ref [] and ws = ref [] and w0 = ref [] in
   for _ = 1 to 5 do
-    best_t := max !best_t (window (fun () -> pass_table book data nsyms));
-    best_s := max !best_s (window (fun () -> pass_serial book data nsyms));
-    best_0 := max !best_0 (window (fun () -> pass_seed seed data nsyms))
+    wt := window (fun () -> pass_table book data nsyms) :: !wt;
+    ws := window (fun () -> pass_serial book data nsyms) :: !ws;
+    w0 := window (fun () -> pass_seed seed data nsyms) :: !w0
   done;
-  (!best_t, !best_s, !best_0)
+  let best l = List.fold_left Float.max 0.0 l in
+  (* All per-window table readings ride along as "samples" so perfdiff
+     can bootstrap a confidence interval instead of trusting one point. *)
+  (best !wt, best !ws, best !w0, List.rev !wt)
 
 type decode_perf = {
   scheme : string;
   table_mb_s : float;
   serial_mb_s : float;
   seed_mb_s : float;
+  table_windows : float list;
 }
 
 let perf_decode () =
@@ -429,8 +486,10 @@ let perf_decode () =
   |> List.map (fun (scheme, sc) ->
          let book = List.assoc scheme sc.Encoding.Scheme.books in
          let data, nsyms = symbol_stream book ~target_bits:(8 * 256 * 1024) in
-         let table_mb_s, serial_mb_s, seed_mb_s = throughput book data nsyms in
-         { scheme; table_mb_s; serial_mb_s; seed_mb_s })
+         let table_mb_s, serial_mb_s, seed_mb_s, table_windows =
+           throughput book data nsyms
+         in
+         { scheme; table_mb_s; serial_mb_s; seed_mb_s; table_windows })
 
 (* One cold-cache sweep: fig5 + fig13 for the whole SPEC set in a single
    Parallel.map, so the parallel run duplicates no work against the
@@ -500,11 +559,11 @@ let write_perf decode_rows ~s1 ~s4 ~cores =
         ("seed_mb_per_s", Num d.seed_mb_s);
         ("speedup_vs_serial", Num (d.table_mb_s /. d.serial_mb_s));
         ("speedup_vs_seed", Num (d.table_mb_s /. d.seed_mb_s));
+        ("samples", Arr (List.map (fun x -> Num x) d.table_windows));
       ]
   in
-  write_perf_rows
-    ~prefixes:[ "perf/decode/"; "perf/sweep/" ]
-    (List.map decode_json decode_rows
+  let rows =
+    List.map decode_json decode_rows
     @ [
         Obj [ ("name", Str "perf/sweep/jobs1"); ("seconds", Num s1) ];
         Obj
@@ -514,12 +573,17 @@ let write_perf decode_rows ~s1 ~s4 ~cores =
             ("speedup", Num (s1 /. s4));
             ("cores", int cores);
           ];
-      ])
+      ]
+  in
+  write_perf_rows ~prefixes:[ "perf/decode/"; "perf/sweep/" ] rows;
+  ledger_append ~kind:"bench_perf"
+    ~schemes:(List.map (fun d -> d.scheme) decode_rows)
+    rows
 
 let run_perf () =
   Printf.printf "CCCS perf — decode throughput and sweep wall-clock\n%s\n"
     (String.make 68 '-');
-  let decode_rows = perf_decode () in
+  let decode_rows = bspan "decode" perf_decode in
   List.iter
     (fun d ->
       Printf.printf
@@ -530,8 +594,8 @@ let run_perf () =
         d.seed_mb_s
         (d.table_mb_s /. d.seed_mb_s))
     decode_rows;
-  let rows1, s1 = sweep_once ~jobs:1 in
-  let rows4, s4 = sweep_once ~jobs:4 in
+  let rows1, s1 = bspan "sweep_jobs1" (fun () -> sweep_once ~jobs:1) in
+  let rows4, s4 = bspan "sweep_jobs4" (fun () -> sweep_once ~jobs:4) in
   if rows1 <> rows4 then
     failwith "bench perf: parallel sweep diverged from sequential";
   let cores = Cccs.Parallel.cores () in
@@ -688,17 +752,37 @@ let run_fuzz_bench () =
   Printf.printf
     "CCCS fuzz — campaign throughput and streaming simulation\n%s\n"
     (String.make 68 '-');
-  let campaign = fuzz_campaign_row () in
-  let streams = stream_rows () in
-  write_perf_rows ~prefixes:[ "perf/fuzz/"; "perf/stream/" ] (campaign :: streams)
+  let campaign = bspan "fuzz_campaign" fuzz_campaign_row in
+  let streams = bspan "stream" stream_rows in
+  let rows = campaign :: streams in
+  write_perf_rows ~prefixes:[ "perf/fuzz/"; "perf/stream/" ] rows;
+  ledger_append ~kind:"bench_fuzz" rows
 
 let () =
-  if Array.exists (( = ) "fuzz") Sys.argv then run_fuzz_bench ()
-  else if Array.exists (( = ) "perf") Sys.argv then run_perf ()
-  else begin
-    Format.printf
-      "CCCS reproduction — Larin & Conte, MICRO-32 (1999)@.%s@.@."
-      (String.make 78 '=');
-    Cccs.Report.all Format.std_formatter ();
-    write_obs (run_benchmarks ())
-  end
+  let flame = flame_path () in
+  let rc =
+    match flame with
+    | None -> None
+    | Some _ -> Some (Cccs_obs.Recorder.create ())
+  in
+  (match rc with
+  | Some rc -> flame_obs := Some (Cccs_obs.Recorder.sink rc)
+  | None -> ());
+  (if Array.exists (( = ) "fuzz") Sys.argv then
+     bspan "fuzz" run_fuzz_bench
+   else if Array.exists (( = ) "perf") Sys.argv then bspan "perf" run_perf
+   else begin
+     Format.printf
+       "CCCS reproduction — Larin & Conte, MICRO-32 (1999)@.%s@.@."
+       (String.make 78 '=');
+     bspan "figures" (fun () -> Cccs.Report.all Format.std_formatter ());
+     write_obs (bspan "bechamel" run_benchmarks)
+   end);
+  match (flame, rc) with
+  | Some path, Some rc ->
+      let nodes = Cccs_obs.Flame.of_recorder rc in
+      Cccs_obs.Flame.write ~path nodes;
+      Printf.printf "wrote flamegraph (%.1f ms instrumented) to %s\n"
+        (Cccs_obs.Flame.total_us nodes /. 1e3)
+        path
+  | _ -> ()

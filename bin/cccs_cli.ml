@@ -26,6 +26,37 @@ let bench_arg =
   let doc = "Workload name (see `cccs list`)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
 
+(* Append one entry to the cross-run ledger (CCCS_LEDGER=off disables);
+   never let telemetry bookkeeping fail the measured command itself. *)
+let ledger_append ~kind ?(jobs = 1) ?(schemes = []) ?(meta = []) rows =
+  if Cccs_obs.Ledger.enabled () then
+    try
+      Cccs_obs.Ledger.append
+        ~path:(Cccs_obs.Ledger.default_path ())
+        (Cccs_obs.Ledger.make ~kind
+           ~git_rev:(Cccs_obs.Ledger.git_rev ())
+           ~timestamp:(Unix.gettimeofday ())
+           ~cores:(Cccs.Parallel.cores ())
+           ~jobs ~schemes ~meta rows)
+    with Sys_error msg -> Logs.warn (fun m -> m "ledger: %s" msg)
+
+let flame_arg =
+  let doc =
+    "Write a collapsed-stack flamegraph of the pipeline stage spans to \
+     $(docv) (self time per frame, integer microseconds; a $(b,.json) \
+     suffix writes Chrome trace-event / Perfetto JSON instead)."
+  in
+  Arg.(value & opt (some string) None & info [ "flame" ] ~docv:"FILE" ~doc)
+
+let write_flame path rc =
+  let nodes = Cccs_obs.Flame.of_recorder rc in
+  Cccs_obs.Flame.write ~path nodes;
+  Logs.app (fun m ->
+      m "wrote flamegraph (%d root span(s), %.1f ms instrumented) to %s"
+        (List.length nodes)
+        (Cccs_obs.Flame.total_us nodes /. 1e3)
+        path)
+
 let list_cmd =
   let run (() : unit) () =
     List.iter
@@ -40,8 +71,14 @@ let list_cmd =
     Term.(const run $ setup_logs $ const ())
 
 let compile_cmd =
-  let run () bench =
-    let r = Cccs.Workload_run.load (find_workload bench) in
+  let run () bench flame =
+    let rc =
+      match flame with
+      | None -> None
+      | Some _ -> Some (Cccs_obs.Recorder.create ())
+    in
+    let obs = Option.map Cccs_obs.Recorder.sink rc in
+    let r = Cccs.Workload_run.load ?obs (find_workload bench) in
     let c = r.Cccs.Workload_run.compiled in
     let prog = c.Cccs.Pipeline.program in
     Printf.printf "workload      %s\n" r.Cccs.Workload_run.name;
@@ -58,11 +95,14 @@ let compile_cmd =
     Printf.printf "executed ops  %d\n"
       (Emulator.Trace.total_ops r.Cccs.Workload_run.exec.Emulator.Exec.trace);
     Printf.printf "block visits  %d\n"
-      (Emulator.Trace.length r.Cccs.Workload_run.exec.Emulator.Exec.trace)
+      (Emulator.Trace.length r.Cccs.Workload_run.exec.Emulator.Exec.trace);
+    match (flame, rc) with
+    | Some path, Some rc -> write_flame path rc
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile and execute a workload; print statistics")
-    Term.(const run $ setup_logs $ bench_arg)
+    Term.(const run $ setup_logs $ bench_arg $ flame_arg)
 
 let compress_cmd =
   let run () bench =
@@ -97,8 +137,24 @@ let perfetto_arg =
   Arg.(value & opt (some string) None & info [ "perfetto" ] ~docv:"FILE" ~doc)
 
 let simulate_cmd =
-  let run () bench perfetto =
-    let r = Cccs.Workload_run.load (find_workload bench) in
+  let run () bench perfetto flame =
+    (* The flame recorder sees only stage spans: the compile pipeline's
+       (via load ~obs) plus one Simulate span per fetch model, wrapped
+       below — not the per-event fetch stream, which has its own
+       --perfetto recorders. *)
+    let frc =
+      match flame with
+      | None -> None
+      | Some _ -> Some (Cccs_obs.Recorder.create ())
+    in
+    let fobs = Option.map Cccs_obs.Recorder.sink frc in
+    let timed_flame label f =
+      match fobs with
+      | None -> f ()
+      | Some obs ->
+          Cccs_obs.Sink.timed ~obs ~stage:Cccs_obs.Event.Simulate ~label f
+    in
+    let r = Cccs.Workload_run.load ?obs:fobs (find_workload bench) in
     let s = Cccs.Experiments.schemes_of r in
     let prog = r.Cccs.Workload_run.compiled.Cccs.Pipeline.program in
     let trace = r.Cccs.Workload_run.exec.Emulator.Exec.trace in
@@ -123,42 +179,49 @@ let simulate_cmd =
     (* Bind each run explicitly: list literals evaluate right-to-left, which
        would register the Perfetto tracks in reverse. *)
     let ideal =
-      with_track "ideal" (fun obs ->
-          Fetch.Sim.run_ideal ?obs ~att:att_base trace)
+      timed_flame "ideal" (fun () ->
+          with_track "ideal" (fun obs ->
+              Fetch.Sim.run_ideal ?obs ~att:att_base trace))
     in
     let base =
-      with_track "base" (fun obs ->
-          Fetch.Sim.run ?obs ~model:Fetch.Config.Base ~cfg:cfg_base
-            ~scheme:s.Cccs.Experiments.base ~att:att_base trace)
+      timed_flame "base" (fun () ->
+          with_track "base" (fun obs ->
+              Fetch.Sim.run ?obs ~model:Fetch.Config.Base ~cfg:cfg_base
+                ~scheme:s.Cccs.Experiments.base ~att:att_base trace))
     in
     let compressed =
-      with_track "compressed" (fun obs ->
-          Fetch.Sim.run ?obs ~model:Fetch.Config.Compressed ~cfg
-            ~scheme:s.Cccs.Experiments.full
-            ~att:(att s.Cccs.Experiments.full cfg)
-            trace)
+      timed_flame "compressed" (fun () ->
+          with_track "compressed" (fun obs ->
+              Fetch.Sim.run ?obs ~model:Fetch.Config.Compressed ~cfg
+                ~scheme:s.Cccs.Experiments.full
+                ~att:(att s.Cccs.Experiments.full cfg)
+                trace))
     in
     let tailored =
-      with_track "tailored" (fun obs ->
-          Fetch.Sim.run ?obs ~model:Fetch.Config.Tailored ~cfg
-            ~scheme:s.Cccs.Experiments.tailored
-            ~att:(att s.Cccs.Experiments.tailored cfg)
-            trace)
+      timed_flame "tailored" (fun () ->
+          with_track "tailored" (fun obs ->
+              Fetch.Sim.run ?obs ~model:Fetch.Config.Tailored ~cfg
+                ~scheme:s.Cccs.Experiments.tailored
+                ~att:(att s.Cccs.Experiments.tailored cfg)
+                trace))
     in
     let results = [ ideal; base; compressed; tailored ] in
     List.iter (fun res -> Format.printf "%a@." Fetch.Sim.pp res) results;
-    match perfetto with
+    (match perfetto with
     | None -> ()
     | Some path ->
         Cccs_obs.Export.write_file path
           (Cccs_obs.Json.to_string
              (Cccs_obs.Export.chrome_trace (List.rev !tracks)));
-        Logs.app (fun m -> m "wrote Perfetto trace to %s" path)
+        Logs.app (fun m -> m "wrote Perfetto trace to %s" path));
+    match (flame, frc) with
+    | Some path, Some rc -> write_flame path rc
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the four fetch models on a workload")
-    Term.(const run $ setup_logs $ bench_arg $ perfetto_arg)
+    Term.(const run $ setup_logs $ bench_arg $ perfetto_arg $ flame_arg)
 
 let decoder_cmd =
   let kind_arg =
@@ -813,6 +876,54 @@ let faults_cmd =
                        campaigns) );
               ]))
     end;
+    (* Ledger: one row per (protection, scheme) so perfdiff can track
+       cycle costs and detection counts across runs. *)
+    let ledger_rows =
+      List.concat_map
+        (fun (t : Cccs.Faults.t) ->
+          List.map
+            (fun (r : Cccs.Faults.scheme_report) ->
+              let open Cccs_obs.Json in
+              let sum f =
+                f r.Cccs.Faults.rom + f r.Cccs.Faults.table
+                + f r.Cccs.Faults.cache
+              in
+              Obj
+                [
+                  ( "name",
+                    Str
+                      (Printf.sprintf "faults/%s/%s"
+                         (Encoding.Scheme.protection_name
+                            r.Cccs.Faults.protection)
+                         r.Cccs.Faults.scheme) );
+                  ("ratio", Num r.Cccs.Faults.ratio);
+                  ("clean_cycles", int r.Cccs.Faults.clean_cycles);
+                  ("faulty_cycles", int r.Cccs.Faults.faulty_cycles);
+                  ("detected", int (sum (fun c -> c.Cccs.Faults.detected)));
+                  ("silent", int (Cccs.Faults.silent_total r));
+                ])
+            t.Cccs.Faults.rows)
+        campaigns
+    in
+    let schemes =
+      match campaigns with
+      | t :: _ ->
+          List.map
+            (fun (r : Cccs.Faults.scheme_report) -> r.Cccs.Faults.scheme)
+            t.Cccs.Faults.rows
+      | [] -> []
+    in
+    ledger_append ~kind:"faults"
+      ~jobs:
+        (match jobs with Some j -> j | None -> Cccs.Parallel.default_jobs ())
+      ~schemes
+      ~meta:
+        [
+          ("bench", Cccs_obs.Json.Str bench);
+          ("seed", Cccs_obs.Json.int seed);
+          ("flips", Cccs_obs.Json.int flips);
+        ]
+      ledger_rows;
     if !protected_silent > 0 then begin
       Logs.err (fun m ->
           m "faults: %d silent corruption(s) leaked through CRC protection"
@@ -887,6 +998,29 @@ let fuzz_cmd =
                (Cccs_fuzz.Fuzz.case_to_json f.Cccs_fuzz.Fuzz.case)))
         r.Cccs_fuzz.Fuzz.findings
     end;
+    let t = r.Cccs_fuzz.Fuzz.tallies in
+    ledger_append ~kind:"fuzz"
+      ~jobs:
+        (match jobs with Some j -> j | None -> Cccs.Parallel.default_jobs ())
+      ~meta:
+        [
+          ("seed", Cccs_obs.Json.int seed);
+          ("runs", Cccs_obs.Json.int runs);
+        ]
+      [
+        Cccs_obs.Json.Obj
+          [
+            ("name", Cccs_obs.Json.Str "fuzz/campaign");
+            ("cases", Cccs_obs.Json.int t.Cccs_fuzz.Fuzz.cases);
+            ("seconds", Cccs_obs.Json.Num r.Cccs_fuzz.Fuzz.seconds);
+            ( "cases_per_s",
+              Cccs_obs.Json.Num
+                (float_of_int t.Cccs_fuzz.Fuzz.cases
+                /. Float.max 1e-9 r.Cccs_fuzz.Fuzz.seconds) );
+            ( "findings",
+              Cccs_obs.Json.int (List.length r.Cccs_fuzz.Fuzz.findings) );
+          ];
+      ];
     if r.Cccs_fuzz.Fuzz.findings <> [] then begin
       Logs.err (fun m ->
           m "fuzz: %d finding(s)" (List.length r.Cccs_fuzz.Fuzz.findings));
@@ -902,6 +1036,201 @@ let fuzz_cmd =
           are delta-minimized and exit nonzero")
     Term.(const run $ setup_logs $ seed_arg $ runs_arg $ budget_arg $ jobs_arg
           $ json_arg $ fixtures_arg)
+
+let perfdiff_cmd =
+  let baseline_arg =
+    let doc =
+      "Baseline rows: a BENCH_*.json-style object ($(b,results) array), a \
+       single ledger entry or perfdiff report ($(b,rows) array), or a \
+       ledger JSONL file (its last matching entry is used).  Without this \
+       option the previous matching ledger entry is the baseline."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let ledger_arg =
+    let doc = "Ledger file (default: \\$CCCS_LEDGER or ledger.jsonl)." in
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+  in
+  let kind_arg =
+    let doc =
+      "Ledger entry kind to compare: $(b,bench), $(b,bench_perf), \
+       $(b,bench_fuzz), $(b,verify_all), $(b,faults) or $(b,fuzz)."
+    in
+    Arg.(value & opt string "bench" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Override both regression thresholds (CI-backed and point-only) with \
+       one relative change, in percent."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let warn_arg =
+    let doc = "Report regressions but always exit 0." in
+    Arg.(value & flag & info [ "warn-only" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Machine-readable report (schema $(b,cccs-perfdiff/1)) on stdout; \
+       the human-readable table moves to stderr."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let read_file path =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Logs.err (fun m -> m "perfdiff: %s" msg);
+      exit 2
+  in
+  (* Baseline rows from a file: BENCH-style {"results":[...]}, anything
+     with a "rows" array (a ledger entry, a perfdiff report), or a ledger
+     JSONL file, whose last [kind] entry wins. *)
+  let load_baseline path kind =
+    match Cccs_obs.Json.parse (read_file path) with
+    | Ok j -> (
+        match
+          ( Option.bind (Cccs_obs.Json.member "results" j) Cccs_obs.Json.to_list,
+            Option.bind (Cccs_obs.Json.member "rows" j) Cccs_obs.Json.to_list )
+        with
+        | Some rows, _ | None, Some rows -> rows
+        | None, None ->
+            Logs.err (fun m ->
+                m "perfdiff: %s has neither a \"results\" nor a \"rows\" array"
+                  path);
+            exit 2)
+    | Error _ -> (
+        (* Not one JSON value — try it as a JSONL ledger. *)
+        let entries, warnings = Cccs_obs.Ledger.load ~path in
+        List.iter
+          (fun w -> Logs.warn (fun m -> m "perfdiff: %s: %s" path w))
+          warnings;
+        match Cccs_obs.Ledger.last ~kind entries with
+        | Some e -> e.Cccs_obs.Ledger.rows
+        | None ->
+            Logs.err (fun m ->
+                m "perfdiff: no %S entry in %s (and it is not a JSON report)"
+                  kind path);
+            exit 2)
+  in
+  let run () baseline ledger kind threshold warn_only json =
+    let ledger_path =
+      match ledger with
+      | Some p -> p
+      | None -> Cccs_obs.Ledger.default_path ()
+    in
+    let entries, warnings = Cccs_obs.Ledger.load ~path:ledger_path in
+    List.iter
+      (fun w -> Logs.warn (fun m -> m "ledger %s: %s" ledger_path w))
+      warnings;
+    let prev, cur_entry = Cccs_obs.Ledger.last_two ~kind entries in
+    let cur =
+      match cur_entry with
+      | Some e -> e
+      | None ->
+          Logs.err (fun m ->
+              m "perfdiff: no %S entry in %s — run the benchmark first" kind
+                ledger_path);
+          exit 2
+    in
+    let base_rows, base_desc =
+      match baseline with
+      | Some path -> (load_baseline path kind, path)
+      | None -> (
+          match prev with
+          | Some e ->
+              ( e.Cccs_obs.Ledger.rows,
+                Printf.sprintf "ledger %s @ %.0f" e.Cccs_obs.Ledger.git_rev
+                  e.Cccs_obs.Ledger.timestamp )
+          | None ->
+              Logs.err (fun m ->
+                  m
+                    "perfdiff: only one %S entry in %s and no --baseline — \
+                     nothing to compare against"
+                    kind ledger_path);
+              exit 2)
+    in
+    let config =
+      match threshold with
+      | None -> Cccs_obs.Compare.default
+      | Some pct ->
+          {
+            Cccs_obs.Compare.default with
+            Cccs_obs.Compare.rel_threshold = pct /. 100.;
+            point_threshold = pct /. 100.;
+          }
+    in
+    let rows =
+      Cccs_obs.Compare.rows ~config ~base:base_rows
+        ~cur:cur.Cccs_obs.Ledger.rows ()
+    in
+    let s = Cccs_obs.Compare.summarize rows in
+    let regressed = Cccs_obs.Compare.any_regressed rows in
+    let out = if json then Format.err_formatter else Format.std_formatter in
+    Format.fprintf out "perfdiff: %s entries, baseline %s@." kind base_desc;
+    Format.fprintf out "%-34s %-11s %14s %14s %8s  %s@." "row" "metric" "base"
+      "current" "delta" "verdict";
+    List.iter
+      (fun (r : Cccs_obs.Compare.row) ->
+        Format.fprintf out "%-34s %-11s %14.4g %14.4g %+7.1f%%  %s%s@."
+          r.Cccs_obs.Compare.name r.Cccs_obs.Compare.metric
+          r.Cccs_obs.Compare.base r.Cccs_obs.Compare.cur
+          (100. *. r.Cccs_obs.Compare.slowdown)
+          (Cccs_obs.Compare.verdict_name r.Cccs_obs.Compare.verdict)
+          (match r.Cccs_obs.Compare.ci with
+          | Some (lo, hi) ->
+              Printf.sprintf "  [%+.1f%%, %+.1f%%]" (100. *. lo) (100. *. hi)
+          | None -> ""))
+      rows;
+    Format.fprintf out
+      "perfdiff: %d improved, %d regressed, %d unchanged, %d untrusted@."
+      s.Cccs_obs.Compare.improved s.Cccs_obs.Compare.regressed
+      s.Cccs_obs.Compare.unchanged s.Cccs_obs.Compare.untrusted;
+    if json then begin
+      let open Cccs_obs.Json in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("schema", Str "cccs-perfdiff/1");
+                ("ok", Bool (not regressed));
+                ("kind", Str kind);
+                ("ledger", Str ledger_path);
+                ("baseline", Str base_desc);
+                ( "thresholds",
+                  Obj
+                    [
+                      ("rel", Num config.Cccs_obs.Compare.rel_threshold);
+                      ("point", Num config.Cccs_obs.Compare.point_threshold);
+                      ("r2_gate", Num config.Cccs_obs.Compare.r2_gate);
+                    ] );
+                ("rows", Arr (List.map Cccs_obs.Compare.row_to_json rows));
+                ( "summary",
+                  Obj
+                    [
+                      ("improved", int s.Cccs_obs.Compare.improved);
+                      ("regressed", int s.Cccs_obs.Compare.regressed);
+                      ("unchanged", int s.Cccs_obs.Compare.unchanged);
+                      ("untrusted", int s.Cccs_obs.Compare.untrusted);
+                    ] );
+              ]))
+    end;
+    if regressed && not warn_only then exit 1
+  in
+  Cmd.v
+    (Cmd.info "perfdiff"
+       ~doc:
+         "Statistically compare the latest ledger entry against the \
+          previous one (or an explicit baseline file): bootstrap \
+          confidence intervals where samples exist, an r-square noise \
+          gate for untrusted rows, and exit 1 on a confirmed regression")
+    Term.(const run $ setup_logs $ baseline_arg $ ledger_arg $ kind_arg
+          $ threshold_arg $ warn_arg $ json_arg)
 
 let disasm_cmd =
   let run () bench =
@@ -925,7 +1254,16 @@ let stats_cmd =
     in
     Arg.(value & opt int 8 & info [ "flips" ] ~docv:"N" ~doc)
   in
-  let run () bench json flips =
+  let baseline_arg =
+    let doc =
+      "Compare the snapshot's counters and gauges against a previous \
+       $(b,cccs stats --json) output; deltas are printed (and embedded in \
+       the JSON, together with both schema versions)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let run () bench json flips baseline =
     let e = find_workload bench in
     let rc = Cccs_obs.Recorder.create () in
     let obs = Cccs_obs.Recorder.sink rc in
@@ -981,25 +1319,91 @@ let stats_cmd =
              protection = Encoding.Scheme.Crc8;
            });
     let m = Cccs_obs.Recorder.summarize rc in
-    if json then
-      print_endline
-        (Cccs_obs.Json.to_string
-           (Cccs_obs.Export.json_of_snapshot
-              ~extra:
-                [
-                  ("schema", Cccs_obs.Json.Str "cccs-stats/1");
-                  ("bench", Cccs_obs.Json.Str bench);
-                  ("events", Cccs_obs.Json.int (Cccs_obs.Recorder.length rc));
-                  (* Effective fault-campaign inputs, so the histogram's
-                     samples are reproducible from the snapshot alone. *)
-                  ("seed", Cccs_obs.Json.int fault_seed);
-                  ("flips", Cccs_obs.Json.int flips);
-                ]
-              (Cccs_obs.Metrics.snapshot m)))
+    let snap_json =
+      Cccs_obs.Export.json_of_snapshot
+        ~extra:
+          [
+            ("schema", Cccs_obs.Json.Str "cccs-stats/1");
+            ("bench", Cccs_obs.Json.Str bench);
+            ("events", Cccs_obs.Json.int (Cccs_obs.Recorder.length rc));
+            (* Effective fault-campaign inputs, so the histogram's
+               samples are reproducible from the snapshot alone. *)
+            ("seed", Cccs_obs.Json.int fault_seed);
+            ("flips", Cccs_obs.Json.int flips);
+          ]
+        (Cccs_obs.Metrics.snapshot m)
+    in
+    (* --baseline: numeric deltas of counters/gauges vs a previous
+       `cccs stats --json` snapshot, via Obs.Compare. *)
+    let baseline_j =
+      match baseline with
+      | None -> None
+      | Some path -> (
+          let contents =
+            try
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            with Sys_error msg ->
+              Logs.err (fun m -> m "stats: --baseline: %s" msg);
+              exit 2
+          in
+          match Cccs_obs.Json.parse contents with
+          | Ok j -> Some (path, j)
+          | Error msg ->
+              Logs.err (fun m -> m "stats: --baseline %s: %s" path msg);
+              exit 2)
+    in
+    let deltas =
+      Option.map
+        (fun (_, bj) -> Cccs_obs.Compare.snapshot_deltas ~base:bj ~cur:snap_json)
+        baseline_j
+    in
+    if json then begin
+      let open Cccs_obs.Json in
+      let out =
+        match (snap_json, baseline_j, deltas) with
+        | Obj kvs, Some (path, bj), Some ds ->
+            let bschema =
+              match member "schema" bj with Some (Str s) -> s | _ -> "unknown"
+            in
+            Obj
+              (kvs
+              @ [
+                  ("baseline_path", Str path);
+                  ("baseline_schema", Str bschema);
+                  ( "deltas",
+                    Arr
+                      (List.map
+                         (fun (d : Cccs_obs.Compare.scalar_delta) ->
+                           Obj
+                             [
+                               ("name", Str d.Cccs_obs.Compare.sname);
+                               ("base", Num d.Cccs_obs.Compare.sbase);
+                               ("cur", Num d.Cccs_obs.Compare.scur);
+                             ])
+                         ds) );
+                ])
+        | _ -> snap_json
+      in
+      print_endline (to_string out)
+    end
     else begin
       Printf.printf "bench          %s\n" bench;
       Printf.printf "events         %d\n" (Cccs_obs.Recorder.length rc);
-      Format.printf "%a@." Cccs_obs.Metrics.pp m
+      Format.printf "%a@." Cccs_obs.Metrics.pp m;
+      match (baseline_j, deltas) with
+      | Some (path, _), Some ds ->
+          Printf.printf "deltas vs %s (%d changed):\n" path (List.length ds);
+          List.iter
+            (fun (d : Cccs_obs.Compare.scalar_delta) ->
+              Printf.printf "  %-42s %14.2f -> %14.2f  (%+.2f)\n"
+                d.Cccs_obs.Compare.sname d.Cccs_obs.Compare.sbase
+                d.Cccs_obs.Compare.scur
+                (d.Cccs_obs.Compare.scur -. d.Cccs_obs.Compare.sbase))
+            ds
+      | _ -> ()
     end
   in
   Cmd.v
@@ -1008,7 +1412,8 @@ let stats_cmd =
          "Run a workload under full instrumentation (compiler spans, all \
           four fetch models, optional fault campaign) and print the \
           metrics snapshot")
-    Term.(const run $ setup_logs $ bench_arg $ json_arg $ flips_arg)
+    Term.(const run $ setup_logs $ bench_arg $ json_arg $ flips_arg
+          $ baseline_arg)
 
 let export_cmd =
   let run (() : unit) () =
@@ -1074,6 +1479,7 @@ let () =
       certify_cmd;
       faults_cmd;
       fuzz_cmd;
+      perfdiff_cmd;
       disasm_cmd;
       stats_cmd;
       export_cmd;

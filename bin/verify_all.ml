@@ -37,11 +37,65 @@ type row = {
   faults_ok : bool;
   faults_detected : int;
   seconds : float;
+  perf_trend : string;
+      (* vs the last ledgered sweep: "+NN%" / "-NN%" / "~" / "n/a" *)
+  seconds_baseline : float option;
 }
 
 (* Fixed seed of the per-workload fault campaign; echoed in the JSON so a
    consumer can reproduce the exact campaign outside this sweep. *)
 let fault_seed = 7
+
+(* Wall-clock of the last ledgered sweep, keyed by workload, for the
+   perf-trend column.  Point-only seconds go through Obs.Compare, whose
+   wide point threshold keeps one noisy run from crying regression. *)
+let prev_seconds : string -> float option =
+  if not (Cccs_obs.Ledger.enabled ()) then fun _ -> None
+  else
+    let entries, _warnings =
+      Cccs_obs.Ledger.load ~path:(Cccs_obs.Ledger.default_path ())
+    in
+    match Cccs_obs.Ledger.last ~kind:"verify_all" entries with
+    | None -> fun _ -> None
+    | Some e ->
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun row ->
+            match
+              ( Cccs_obs.Json.member "name" row,
+                Cccs_obs.Json.member "seconds" row )
+            with
+            | Some (Cccs_obs.Json.Str n), Some (Cccs_obs.Json.Num s) ->
+                Hashtbl.replace tbl n s
+            | _ -> ())
+          e.Cccs_obs.Ledger.rows;
+        fun n -> Hashtbl.find_opt tbl n
+
+let trend_of ~name ~seconds =
+  match prev_seconds name with
+  | None -> ("n/a", None)
+  | Some base_s -> (
+      let mk s =
+        [
+          Cccs_obs.Json.Obj
+            [
+              ("name", Cccs_obs.Json.Str name);
+              ("seconds", Cccs_obs.Json.Num s);
+            ];
+        ]
+      in
+      match Cccs_obs.Compare.rows ~base:(mk base_s) ~cur:(mk seconds) () with
+      | [ row ] ->
+          let pct = 100. *. row.Cccs_obs.Compare.slowdown in
+          let label =
+            match row.Cccs_obs.Compare.verdict with
+            | Cccs_obs.Compare.Regressed -> Printf.sprintf "%+.0f%%" pct
+            | Cccs_obs.Compare.Improved -> Printf.sprintf "%+.0f%%" pct
+            | Cccs_obs.Compare.Unchanged -> "~"
+            | Cccs_obs.Compare.Untrusted -> "?"
+          in
+          (label, Some base_s)
+      | _ -> ("n/a", None))
 
 (* Per-workload report lines go through [emit] so a parallel sweep can
    buffer each workload's output and print it in suite order after the
@@ -142,10 +196,13 @@ let check_workload ~emit (e : Workloads.Suite.entry) =
       Printf.ksprintf emit "  %s\n" (Cccs.Analysis.Diag.to_string d))
     lint_errors;
   let seconds = Unix.gettimeofday () -. t0 in
+  let perf_trend, seconds_baseline =
+    trend_of ~name:r.Cccs.Workload_run.name ~seconds
+  in
   Printf.ksprintf emit
     "%-12s blocks=%5d ops=%6d ilp=%4.2f hoist=%4d | dyn_ops=%8d visits=%7d \
      %s | mem %s trace %s schemes %s lint %s validate %s certify %s faults \
-     %s(%d det) | %.2fs\n"
+     %s(%d det) | %.2fs perf %s\n"
     r.Cccs.Workload_run.name
     (Tepic.Program.num_blocks prog)
     (Tepic.Program.num_ops prog)
@@ -165,7 +222,7 @@ let check_workload ~emit (e : Workloads.Suite.entry) =
     (if certify_ok then "OK"
      else "FAIL[" ^ String.concat "," certify_failed ^ "]")
     (if faults_ok then "OK" else "FAIL")
-    faults_detected seconds;
+    faults_detected seconds perf_trend;
   {
     name = r.Cccs.Workload_run.name;
     mem_ok;
@@ -180,6 +237,8 @@ let check_workload ~emit (e : Workloads.Suite.entry) =
     faults_ok;
     faults_detected;
     seconds;
+    perf_trend;
+    seconds_baseline;
   }
 
 let checks =
@@ -212,6 +271,9 @@ let json_report ~jobs rows ok =
         ("faults_ok", Bool r.faults_ok);
         ("faults_detected", int r.faults_detected);
         ("seconds", Num r.seconds);
+        ("perf_trend", Str r.perf_trend);
+        ( "seconds_baseline",
+          match r.seconds_baseline with None -> Null | Some s -> Num s );
       ]
   in
   let check_json (label, ok_of) =
@@ -282,6 +344,36 @@ let () =
         && r.certify_ok && r.faults_ok)
       rows
   in
+  (* Ledger: one row per workload, so the next sweep's perf-trend column
+     (and `cccs perfdiff --kind verify_all`) has this run as baseline. *)
+  if Cccs_obs.Ledger.enabled () then begin
+    let ledger_rows =
+      List.map
+        (fun r ->
+          Cccs_obs.Json.Obj
+            [
+              ("name", Cccs_obs.Json.Str r.name);
+              ("seconds", Cccs_obs.Json.Num r.seconds);
+              ( "ok",
+                Cccs_obs.Json.Bool
+                  (r.mem_ok && r.trace_ok && r.schemes_ok && r.lint_ok
+                 && r.validate_ok && r.certify_ok && r.faults_ok) );
+            ])
+        rows
+    in
+    try
+      Cccs_obs.Ledger.append
+        ~path:(Cccs_obs.Ledger.default_path ())
+        (Cccs_obs.Ledger.make ~kind:"verify_all"
+           ~git_rev:(Cccs_obs.Ledger.git_rev ())
+           ~timestamp:(Unix.gettimeofday ())
+           ~cores:(Cccs.Parallel.cores ())
+           ~jobs
+           ~meta:[ ("seed", Cccs_obs.Json.int fault_seed) ]
+           ledger_rows)
+    with Sys_error msg ->
+      Printf.eprintf "verify_all: ledger: %s\n%!" msg
+  end;
   if json_mode then
     print_endline (Cccs_obs.Json.to_string (json_report ~jobs rows ok));
   if ok then Printf.fprintf out "verify_all: all workloads verified\n"

@@ -1,0 +1,69 @@
+(** Statistical regression detection between two sets of benchmark rows
+    (the JSON objects bench and the {!Ledger} record).
+
+    Conservative by construction: rows whose own measurement did not
+    converge (low/negative r-square or [trusted=false]) are {e
+    untrusted} and never compared; rows carrying ["samples"] arrays on
+    both sides get a deterministic percentile-bootstrap confidence
+    interval and only regress when the whole interval clears zero and
+    the point estimate clears [rel_threshold]; bare point estimates need
+    the wider [point_threshold].  Identical data always yields
+    [Unchanged], for any seed. *)
+
+type direction = Lower_better | Higher_better
+
+(** Known metric fields in preference order: ["ns_per_run"],
+    ["mb_per_s"], ["cases_per_s"], ["visits_per_s"], ["seconds"]. *)
+val metrics : (string * direction) list
+
+type verdict = Improved | Regressed | Unchanged | Untrusted
+
+val verdict_name : verdict -> string
+
+type config = {
+  rel_threshold : float;
+      (** minimum relative change for CI-backed verdicts (default 0.10) *)
+  point_threshold : float;
+      (** minimum relative change for point-only verdicts (default 0.25) *)
+  r2_gate : float;
+      (** rows with [r_square] below this are untrusted (default 0.90) *)
+  resamples : int;  (** bootstrap resamples (default 1000) *)
+  confidence : float;  (** two-sided CI level (default 0.95) *)
+  seed : int;  (** RNG seed; per-row streams also mix the row name *)
+}
+
+val default : config
+
+type row = {
+  name : string;
+  metric : string;
+  base : float;
+  cur : float;
+  slowdown : float;
+      (** relative change, sign-normalized so positive is worse *)
+  ci : (float * float) option;  (** bootstrap CI over [slowdown] *)
+  verdict : verdict;
+}
+
+(** Compare two row sets, keyed by each row's ["name"] field; rows
+    present on only one side are skipped. *)
+val rows :
+  ?config:config -> base:Json.t list -> cur:Json.t list -> unit -> row list
+
+type summary = {
+  improved : int;
+  regressed : int;
+  unchanged : int;
+  untrusted : int;
+}
+
+val summarize : row list -> summary
+val any_regressed : row list -> bool
+val row_to_json : row -> Json.t
+
+(** Scalar deltas between the ["counters"]/["gauges"] sections of two
+    [cccs-stats] snapshots ([cccs stats --baseline]).  Only changed (or
+    new, reported with [sbase = 0]) fields are returned. *)
+type scalar_delta = { sname : string; sbase : float; scur : float }
+
+val snapshot_deltas : base:Json.t -> cur:Json.t -> scalar_delta list

@@ -11,7 +11,7 @@
    non-deterministic (addresses, wall-clock time) may appear in fetch or
    gauge lines.  Span lines carry wall-clock timings and are exempt. *)
 
-type stage = Lower | Schedule | Regalloc | Encode | Decoder_gen | Simulate
+type stage = Lower | Schedule | Regalloc | Encode | Decoder_gen | Simulate | Bench
 
 let stage_name = function
   | Lower -> "lower"
@@ -20,6 +20,7 @@ let stage_name = function
   | Encode -> "encode"
   | Decoder_gen -> "decoder_gen"
   | Simulate -> "simulate"
+  | Bench -> "bench"
 
 (* One constructor per observable micro-event of the fetch pipeline.
    Payloads are plain ints so that constructing them costs at most one

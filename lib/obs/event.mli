@@ -6,8 +6,8 @@
     byte-identical streams), span lines carry wall-clock time and are
     exempt. *)
 
-(** The compiler/simulator stages spans can cover. *)
-type stage = Lower | Schedule | Regalloc | Encode | Decoder_gen | Simulate
+(** The compiler/simulator/benchmark stages spans can cover. *)
+type stage = Lower | Schedule | Regalloc | Encode | Decoder_gen | Simulate | Bench
 
 val stage_name : stage -> string
 

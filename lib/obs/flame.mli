@@ -1,0 +1,48 @@
+(** Self-time attribution over the recorded span stream.
+
+    Rebuilds parent/child nesting from span interval containment (a
+    region's span is emitted after its children's, with clock readings
+    strictly inside the parent), charges each frame its exclusive time,
+    and exports collapsed-stack flamegraph lines or Chrome trace-event
+    JSON.
+
+    Invariant: the self times of a tree sum to the duration of its root,
+    so summing every exported value reproduces total instrumented wall
+    time. *)
+
+type node = {
+  stage : Event.stage;
+  label : string;
+  start_us : float;
+  dur_us : float;
+  self_us : float;  (** duration minus direct children's durations *)
+  children : node list;  (** chronological *)
+}
+
+(** ["<stage>:<label>"] — the frame name used in every export. *)
+val frame : node -> string
+
+(** Root spans (chronological) reconstructed from a recorded stream;
+    non-span events are ignored. *)
+val of_events : Event.t array -> node list
+
+val of_recorder : Recorder.t -> node list
+
+(** Sum of root durations. *)
+val total_us : node list -> float
+
+(** Per-frame exclusive totals, largest first. *)
+val self_times : node list -> (string * float) list
+
+(** Collapsed-stack lines (["frame;frame <self-us>"], integer
+    microseconds, zero-valued frames dropped) — feed to flamegraph.pl,
+    speedscope or inferno. *)
+val collapsed : node list -> string
+
+(** The reconstructed tree as Chrome trace-event JSON (complete events
+    with [self_us] in args; Perfetto re-nests by interval). *)
+val chrome_json : node list -> Json.t
+
+(** Write {!collapsed} to [path], or {!chrome_json} when [path] ends in
+    [".json"]. *)
+val write : path:string -> node list -> unit

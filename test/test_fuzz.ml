@@ -149,10 +149,17 @@ let replay_fixture path =
 
 let test_fixture_replay () =
   let dir = "fixtures" in
+  let is_fuzz_fixture f =
+    (* fixtures/ also holds non-fuzz data (perf_baseline.json); only the
+       fuzz_*.json files are replayable cases. *)
+    Filename.check_suffix f ".json"
+    && String.length f >= 5
+    && String.sub f 0 5 = "fuzz_"
+  in
   let files =
     if Sys.file_exists dir && Sys.is_directory dir then
       Sys.readdir dir |> Array.to_list
-      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.filter is_fuzz_fixture
       |> List.sort compare
       |> List.map (Filename.concat dir)
     else []
