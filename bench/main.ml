@@ -267,10 +267,46 @@ let bench_certify =
   Test.make_grouped ~name:"certify" ~fmt:"%s/%s"
     (tests_of fixture "compress" @ tests_of kernel "fir")
 
+(* Static fetch-timing analysis: CFG recovery + must/may fixpoint + WCET
+   + the full simulator-replay soundness check, per scheme × workload —
+   the end-to-end cost of one `cccs wcet` row. *)
+let bench_wcet =
+  let tests_of run wl =
+    let s = lazy (Cccs.Experiments.schemes_of (Lazy.force run)) in
+    let prog =
+      lazy
+        (Lazy.force run).Cccs.Workload_run.compiled.Cccs.Pipeline.program
+    in
+    let tr =
+      lazy (Lazy.force run).Cccs.Workload_run.exec.Emulator.Exec.trace
+    in
+    let check sc_of =
+      Staged.stage (fun () ->
+          let sl = Lazy.force s in
+          Cccs.Analysis.Timing_check.analyze_scheme ~workload:wl
+            ~program:(Lazy.force prog)
+            ~tailored:sl.Cccs.Experiments.tailored_spec
+            ~trace:(Lazy.force tr) (sc_of sl))
+    in
+    List.map
+      (fun (name, sc_of) -> Test.make ~name:(wl ^ ":" ^ name) (check sc_of))
+      [
+        ("base", fun (sl : Cccs.Experiments.schemes) -> sl.Cccs.Experiments.base);
+        ("byte", fun sl -> sl.Cccs.Experiments.byte);
+        ("stream", fun sl -> snd (List.hd sl.Cccs.Experiments.streams));
+        ("full", fun sl -> sl.Cccs.Experiments.full);
+        ("tailored", fun sl -> sl.Cccs.Experiments.tailored);
+        ("dict", fun sl -> sl.Cccs.Experiments.dict);
+      ]
+  in
+  Test.make_grouped ~name:"wcet" ~fmt:"%s/%s"
+    (tests_of fixture "compress" @ tests_of kernel "fir")
+
 let all_tests =
   Test.make_grouped ~name:"cccs" ~fmt:"%s %s"
     [ bench_fig5; bench_fig7; bench_fig10; bench_fig13; bench_fig14;
-      bench_substrate; bench_extensions; bench_validate; bench_certify ]
+      bench_substrate; bench_extensions; bench_validate; bench_certify;
+      bench_wcet ]
 
 let run_benchmarks () =
   let ols =

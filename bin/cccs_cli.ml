@@ -755,6 +755,135 @@ let certify_cmd =
           model")
     Term.(const run $ setup_logs $ bench_opt_arg $ all_arg $ json_arg)
 
+let wcet_cmd =
+  let bench_opt_arg =
+    let doc = "Workload name (see `cccs list`).  Omit with $(b,--all)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let all_arg =
+    let doc = "Analyze every workload in the suite." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit one machine-readable report (schema $(b,cccs-wcet/1)) on \
+       stdout; the human-readable report moves to stderr."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run () bench all json =
+    let entries =
+      if all then Workloads.Suite.all
+      else
+        match bench with
+        | Some b -> [ find_workload b ]
+        | None ->
+            Logs.err (fun m -> m "wcet: give a BENCH or --all");
+            exit 2
+    in
+    let out = if json then Format.err_formatter else Format.std_formatter in
+    let collector = Cccs.Analysis.Diag.Collector.create () in
+    let workloads_json =
+      List.map
+        (fun (e : Workloads.Suite.entry) ->
+          let r = Cccs.Workload_run.load e in
+          let workload = r.Cccs.Workload_run.name in
+          let results = Cccs.Analysis.wcet_run r in
+          let rows =
+            List.filter_map
+              (fun (diags, w) ->
+                Cccs.Analysis.Diag.Collector.add_list collector diags;
+                List.iter
+                  (fun d ->
+                    if Cccs.Analysis.Diag.is_error d then
+                      Format.fprintf out "%s@."
+                        (Cccs.Analysis.Diag.to_string d))
+                  diags;
+                w)
+              results
+          in
+          Cccs.Report.wcet out [ (workload, rows) ];
+          let schemes_json =
+            List.map2
+              (fun (diags, w) _ ->
+                let open Cccs_obs.Json in
+                let base =
+                  match w with
+                  | None -> [ ("bound", Null) ]
+                  | Some (w : Cccs.Analysis.Timing_check.wcet) ->
+                      [
+                        ("name", Str w.Cccs.Analysis.Timing_check.scheme);
+                        ( "model",
+                          Str
+                            (Cccs.Analysis.Timing_check.model_name
+                               w.Cccs.Analysis.Timing_check.model) );
+                        ("bound", int w.Cccs.Analysis.Timing_check.bound);
+                        ( "sim_cycles",
+                          match w.Cccs.Analysis.Timing_check.sim_cycles with
+                          | Some c -> int c
+                          | None -> Null );
+                        ( "ratio",
+                          match w.Cccs.Analysis.Timing_check.ratio with
+                          | Some f -> Num f
+                          | None -> Null );
+                        ("blocks", int w.Cccs.Analysis.Timing_check.blocks);
+                        ( "reachable",
+                          int w.Cccs.Analysis.Timing_check.reachable );
+                        ( "always_hit",
+                          int w.Cccs.Analysis.Timing_check.always_hit );
+                        ( "always_miss",
+                          int w.Cccs.Analysis.Timing_check.always_miss );
+                        ( "unclassified",
+                          int w.Cccs.Analysis.Timing_check.unclassified );
+                        ( "atb_always_hit",
+                          int w.Cccs.Analysis.Timing_check.atb_always_hit );
+                        ( "charged_visits",
+                          int w.Cccs.Analysis.Timing_check.charged_visits );
+                        ( "trace_bounds",
+                          Bool w.Cccs.Analysis.Timing_check.trace_bounds );
+                      ]
+                in
+                Obj (base @ [ ("diags", Arr (List.map diag_json diags)) ]))
+              results results
+          in
+          Cccs_obs.Json.Obj
+            [
+              ("name", Cccs_obs.Json.Str workload);
+              ("schemes", Cccs_obs.Json.Arr schemes_json);
+            ])
+        entries
+    in
+    let ok = Cccs.Analysis.Diag.Collector.exit_status collector = 0 in
+    if json then
+      print_endline
+        (Cccs_obs.Json.to_string
+           (Cccs_obs.Json.Obj
+              [
+                ("schema", Cccs_obs.Json.Str "cccs-wcet/1");
+                ("ok", Cccs_obs.Json.Bool ok);
+                ( "errors",
+                  Cccs_obs.Json.int
+                    (Cccs.Analysis.Diag.Collector.errors collector) );
+                ( "warnings",
+                  Cccs_obs.Json.int
+                    (Cccs.Analysis.Diag.Collector.warnings collector) );
+                ("workloads", Cccs_obs.Json.Arr workloads_json);
+              ]))
+    else
+      Format.fprintf out "wcet: %s (%a)@."
+        (if ok then "bounded" else "FAILED")
+        Cccs.Analysis.Diag.Collector.pp_summary collector;
+    exit (Cccs.Analysis.Diag.Collector.exit_status collector)
+  in
+  Cmd.v
+    (Cmd.info "wcet"
+       ~doc:
+         "Static WCET fetch-timing analysis: must/may cache abstract \
+          interpretation over each scheme's recovered CFG, cycle bounds \
+          charged from Table 1, and a simulator replay that must observe \
+          cycles within the bound")
+    Term.(const run $ setup_logs $ bench_opt_arg $ all_arg $ json_arg)
+
 let faults_cmd =
   let flips_arg =
     let doc = "Single-bit-flip trials per surface per scheme." in
@@ -1477,6 +1606,7 @@ let () =
       lint_cmd;
       validate_cmd;
       certify_cmd;
+      wcet_cmd;
       faults_cmd;
       fuzz_cmd;
       perfdiff_cmd;

@@ -3,10 +3,11 @@
    For each workload: compile, execute, differentially check the scheduled
    VLIW program against the sequential reference interpreter (identical
    memory, identical control-flow trace), check that every encoding scheme
-   decodes the ROM back to the identical program, and run the static
-   verifier (Cccs.Analysis) over the CFG, schedule, encodings and decoder —
-   including the decoder certification pass, whose CCCS-E2xx findings get
-   their own per-row column.
+   decodes the ROM back to the identical program, run the static verifier
+   (Cccs.Analysis) over the CFG, schedule, encodings and decoder — the
+   decoder certification pass (CCCS-E2xx) gets its own per-row column —
+   and run the trace-backed WCET analysis, whose bound must dominate the
+   simulator replay on every scheme (bound/simulated ratio >= 1).
 
    This is the long-form version of what `dune runtest` samples; CI or a
    release check can run it directly:  dune exec bin/verify_all.exe
@@ -36,11 +37,112 @@ type row = {
       (* schemes the decoder certification pass rejected (CCCS-E2xx) *)
   faults_ok : bool;
   faults_detected : int;
+  wcet_ok : bool;
+  wcet_failed : string list;
+      (* schemes with an unsound or missing bound (CCCS-E3xx / ratio<1) *)
+  wcet_min_ratio : float option;
+      (* worst bound/simulated ratio across schemes; sound means >= 1 *)
   seconds : float;
   perf_trend : string;
       (* vs the last ledgered sweep: "+NN%" / "-NN%" / "~" / "n/a" *)
   seconds_baseline : float option;
 }
+
+(* The per-row column table — THE single declarative source for the human
+   row cells, the check summary, the JSON `checks` object and the overall
+   verdict.  Adding a pass means adding one entry here; nothing else can
+   drift.  [gates] distinguishes pass/fail checks from informational
+   columns (perf-trend), which print but never fail the sweep. *)
+type column = {
+  label : string;  (* summary / JSON key, e.g. "decoder-certify" *)
+  cell : string;  (* short name in the per-workload row line *)
+  gates : bool;
+  ok_of : row -> bool;
+  show : row -> string;
+}
+
+let flag ok = if ok then "OK" else "FAIL"
+
+let flag_schemes ok failed =
+  if ok then "OK" else "FAIL[" ^ String.concat "," failed ^ "]"
+
+let columns =
+  [
+    {
+      label = "differential-memory";
+      cell = "mem";
+      gates = true;
+      ok_of = (fun r -> r.mem_ok);
+      show = (fun r -> flag r.mem_ok);
+    };
+    {
+      label = "differential-trace";
+      cell = "trace";
+      gates = true;
+      ok_of = (fun r -> r.trace_ok);
+      show = (fun r -> flag r.trace_ok);
+    };
+    {
+      label = "scheme-decode-back";
+      cell = "schemes";
+      gates = true;
+      ok_of = (fun r -> r.schemes_ok);
+      show = (fun r -> flag r.schemes_ok);
+    };
+    {
+      label = "static-lint";
+      cell = "lint";
+      gates = true;
+      ok_of = (fun r -> r.lint_ok);
+      show = (fun r -> flag r.lint_ok);
+    };
+    {
+      label = "image-validate";
+      cell = "validate";
+      gates = true;
+      ok_of = (fun r -> r.validate_ok);
+      show = (fun r -> flag_schemes r.validate_ok r.validate_failed);
+    };
+    {
+      label = "decoder-certify";
+      cell = "certify";
+      gates = true;
+      ok_of = (fun r -> r.certify_ok);
+      show = (fun r -> flag_schemes r.certify_ok r.certify_failed);
+    };
+    {
+      label = "fault-protection";
+      cell = "faults";
+      gates = true;
+      ok_of = (fun r -> r.faults_ok);
+      show =
+        (fun r ->
+          Printf.sprintf "%s(%d det)" (flag r.faults_ok) r.faults_detected);
+    };
+    {
+      label = "wcet-bound";
+      cell = "wcet";
+      gates = true;
+      ok_of = (fun r -> r.wcet_ok);
+      show =
+        (fun r ->
+          if not r.wcet_ok then flag_schemes false r.wcet_failed
+          else
+            match r.wcet_min_ratio with
+            | Some m -> Printf.sprintf "OK(x%.2f)" m
+            | None -> "OK");
+    };
+    {
+      label = "perf-trend";
+      cell = "perf";
+      gates = false;
+      ok_of = (fun _ -> true);
+      show = (fun r -> r.perf_trend);
+    };
+  ]
+
+let gating = List.filter (fun c -> c.gates) columns
+let row_ok r = List.for_all (fun c -> c.ok_of r) gating
 
 (* Fixed seed of the per-workload fault campaign; echoed in the JSON so a
    consumer can reproduce the exact campaign outside this sweep. *)
@@ -195,14 +297,81 @@ let check_workload ~emit (e : Workloads.Suite.entry) =
     (fun d ->
       Printf.ksprintf emit "  %s\n" (Cccs.Analysis.Diag.to_string d))
     lint_errors;
+  (* Trace-backed WCET with the simulator-replay soundness checks: every
+     scheme must get a finite bound and the replay must land within it
+     (bound/simulated ratio >= 1, CCCS-E30x clean). *)
+  let wcet_ok, wcet_failed, wcet_min_ratio =
+    let results = Cccs.Analysis.wcet_run r in
+    let failed = ref [] and min_ratio = ref None in
+    List.iter
+      (fun (diags, w) ->
+        let scheme_of_diags () =
+          match
+            List.find_map
+              (fun (d : Cccs.Analysis.Diag.t) ->
+                d.Cccs.Analysis.Diag.loc.Cccs.Analysis.Diag.scheme)
+              diags
+          with
+          | Some s -> s
+          | None -> "?"
+        in
+        let errs = List.filter Cccs.Analysis.Diag.is_error diags in
+        List.iter
+          (fun d ->
+            Printf.ksprintf emit "  %s\n" (Cccs.Analysis.Diag.to_string d))
+          errs;
+        match w with
+        | None -> failed := scheme_of_diags () :: !failed
+        | Some (w : Cccs.Analysis.Timing_check.wcet) ->
+            let sound =
+              errs = []
+              &&
+              match w.Cccs.Analysis.Timing_check.ratio with
+              | Some f -> f >= 1.0
+              | None -> false
+            in
+            if not sound then
+              failed := w.Cccs.Analysis.Timing_check.scheme :: !failed;
+            match w.Cccs.Analysis.Timing_check.ratio with
+            | Some f ->
+                min_ratio :=
+                  Some
+                    (match !min_ratio with
+                    | None -> f
+                    | Some m -> min m f)
+            | None -> ())
+      results;
+    (!failed = [], List.sort_uniq compare !failed, !min_ratio)
+  in
   let seconds = Unix.gettimeofday () -. t0 in
   let perf_trend, seconds_baseline =
     trend_of ~name:r.Cccs.Workload_run.name ~seconds
   in
+  let row =
+    {
+      name = r.Cccs.Workload_run.name;
+      mem_ok;
+      trace_ok;
+      schemes_ok;
+      lint_ok;
+      lint_warnings = List.length diags - List.length lint_errors;
+      validate_ok;
+      validate_failed;
+      certify_ok;
+      certify_failed;
+      faults_ok;
+      faults_detected;
+      wcet_ok;
+      wcet_failed;
+      wcet_min_ratio;
+      seconds;
+      perf_trend;
+      seconds_baseline;
+    }
+  in
   Printf.ksprintf emit
     "%-12s blocks=%5d ops=%6d ilp=%4.2f hoist=%4d | dyn_ops=%8d visits=%7d \
-     %s | mem %s trace %s schemes %s lint %s validate %s certify %s faults \
-     %s(%d det) | %.2fs perf %s\n"
+     %s |%s | %.2fs\n"
     r.Cccs.Workload_run.name
     (Tepic.Program.num_blocks prog)
     (Tepic.Program.num_ops prog)
@@ -213,44 +382,10 @@ let check_workload ~emit (e : Workloads.Suite.entry) =
     | Emulator.Exec.Fell_through -> "end"
     | Emulator.Exec.Halted -> "halt"
     | Emulator.Exec.Budget_exhausted -> "BUDGET")
-    (if mem_ok then "OK" else "MISMATCH")
-    (if trace_ok then "OK" else "MISMATCH")
-    (if schemes_ok then "OK" else "MISMATCH")
-    (if lint_ok then "OK" else "FAIL")
-    (if validate_ok then "OK"
-     else "FAIL[" ^ String.concat "," validate_failed ^ "]")
-    (if certify_ok then "OK"
-     else "FAIL[" ^ String.concat "," certify_failed ^ "]")
-    (if faults_ok then "OK" else "FAIL")
-    faults_detected seconds perf_trend;
-  {
-    name = r.Cccs.Workload_run.name;
-    mem_ok;
-    trace_ok;
-    schemes_ok;
-    lint_ok;
-    lint_warnings = List.length diags - List.length lint_errors;
-    validate_ok;
-    validate_failed;
-    certify_ok;
-    certify_failed;
-    faults_ok;
-    faults_detected;
+    (String.concat ""
+       (List.map (fun col -> " " ^ col.cell ^ " " ^ col.show row) columns))
     seconds;
-    perf_trend;
-    seconds_baseline;
-  }
-
-let checks =
-  [
-    ("differential-memory", fun r -> r.mem_ok);
-    ("differential-trace", fun r -> r.trace_ok);
-    ("scheme-decode-back", fun r -> r.schemes_ok);
-    ("static-lint", fun r -> r.lint_ok);
-    ("image-validate", fun r -> r.validate_ok);
-    ("decoder-certify", fun r -> r.certify_ok);
-    ("fault-protection", fun r -> r.faults_ok);
-  ]
+  row
 
 let json_report ~jobs rows ok =
   let open Cccs_obs.Json in
@@ -270,19 +405,23 @@ let json_report ~jobs rows ok =
         ("certify_failed", Arr (List.map (fun s -> Str s) r.certify_failed));
         ("faults_ok", Bool r.faults_ok);
         ("faults_detected", int r.faults_detected);
+        ("wcet_ok", Bool r.wcet_ok);
+        ("wcet_failed", Arr (List.map (fun s -> Str s) r.wcet_failed));
+        ( "wcet_min_ratio",
+          match r.wcet_min_ratio with None -> Null | Some f -> Num f );
         ("seconds", Num r.seconds);
         ("perf_trend", Str r.perf_trend);
         ( "seconds_baseline",
           match r.seconds_baseline with None -> Null | Some s -> Num s );
       ]
   in
-  let check_json (label, ok_of) =
+  let check_json c =
     let failed =
       List.filter_map
-        (fun r -> if ok_of r then None else Some (Str r.name))
+        (fun r -> if c.ok_of r then None else Some (Str r.name))
         rows
     in
-    (label, Obj [ ("pass", Bool (failed = [])); ("failed", Arr failed) ])
+    (c.label, Obj [ ("pass", Bool (failed = [])); ("failed", Arr failed) ])
   in
   Obj
     [
@@ -291,7 +430,7 @@ let json_report ~jobs rows ok =
       ("seed", int fault_seed);
       ("jobs", int jobs);
       ("workloads", Arr (List.map row_json rows));
-      ("checks", Obj (List.map check_json checks));
+      ("checks", Obj (List.map check_json gating));
     ]
 
 let () =
@@ -323,9 +462,9 @@ let () =
   in
   flush out;
   let total = List.length rows in
-  let summary (label, ok_of) =
-    let failed = List.filter (fun r -> not (ok_of r)) rows in
-    Printf.fprintf out "check %-22s %d/%d pass%s\n" label
+  let summary c =
+    let failed = List.filter (fun r -> not (c.ok_of r)) rows in
+    Printf.fprintf out "check %-22s %d/%d pass%s\n" c.label
       (total - List.length failed)
       total
       (if failed = [] then ""
@@ -333,17 +472,11 @@ let () =
          ": FAIL " ^ String.concat ", " (List.map (fun r -> r.name) failed))
   in
   Printf.fprintf out "\n";
-  List.iter summary checks;
+  List.iter summary gating;
   let warn = List.fold_left (fun acc r -> acc + r.lint_warnings) 0 rows in
   if warn > 0 then
     Printf.fprintf out "static-lint warnings: %d (non-fatal)\n" warn;
-  let ok =
-    List.for_all
-      (fun r ->
-        r.mem_ok && r.trace_ok && r.schemes_ok && r.lint_ok && r.validate_ok
-        && r.certify_ok && r.faults_ok)
-      rows
-  in
+  let ok = List.for_all row_ok rows in
   (* Ledger: one row per workload, so the next sweep's perf-trend column
      (and `cccs perfdiff --kind verify_all`) has this run as baseline. *)
   if Cccs_obs.Ledger.enabled () then begin
@@ -354,10 +487,7 @@ let () =
             [
               ("name", Cccs_obs.Json.Str r.name);
               ("seconds", Cccs_obs.Json.Num r.seconds);
-              ( "ok",
-                Cccs_obs.Json.Bool
-                  (r.mem_ok && r.trace_ok && r.schemes_ok && r.lint_ok
-                 && r.validate_ok && r.certify_ok && r.faults_ok) );
+              ("ok", Cccs_obs.Json.Bool (row_ok r));
             ])
         rows
     in

@@ -1,0 +1,56 @@
+(** Must/may abstract interpretation of the fetch path.
+
+    Classifies every block fetch of a recovered CFG against the paper's
+    fetch organization — set-associative LRU line cache with restricted
+    placement, L0 decompression buffer, ATB — as always-hit, always-miss
+    or unclassified, by a fixpoint over the CFG with the classic
+    must (line → LRU-age bound, intersect/max join) and may
+    (possibly-touched lines, union join) cache domains plus a must/may
+    visited-blocks pair for the ATB and the L0 buffer.
+
+    Soundness notes, enforced downstream by {!Timing_check}'s
+    simulation replay (CCCS-E301..E303):
+    - the Compressed model's L0 buffer serves repeat visits without
+      touching the line cache, so the transfer function only applies a
+      definite LRU touch on provably-first visits and otherwise meets the
+      touched and untouched states;
+    - always-miss additionally requires a provably-cold buffer, since an
+      L0 hit counts as a fetch hit;
+    - ATB always-hit is claimed only while the working set fits the ATB
+      (no eviction possible); always-miss needs no such bound (a block
+      enters the ATB only at its own first lookup);
+    - with [prefetch_next] enabled the domains are unsound (prefetch
+      touches lines between visits), so everything degrades to
+      unclassified and the WCET falls back to the all-miss charge. *)
+
+type classification = Always_hit | Always_miss | Unclassified
+
+val classification_name : classification -> string
+
+type block_class = {
+  cache : classification;  (** line cache ∪ L0 buffer, Sim's [cache_hit] *)
+  atb : classification;  (** ATB lookup at the visit *)
+}
+
+type t = {
+  classes : block_class array;
+  lines : (int * int) array;
+      (** inclusive line span per block ({!Fetch.Config.line_span}
+          geometry — identical to [Line_cache] and the ATT) *)
+  reachable : bool array;
+}
+
+(** [analyze ~cfg ~fetch_cfg ~compressed ~offsets ~sizes ~entry] — run the
+    fixpoint over [cfg] for a code layout placing block [i] at bit
+    [offsets.(i)] with [sizes.(i)] bits.  [compressed] selects the
+    L0-buffer semantics (the Compressed fetch model).  Out-of-range
+    successor edges are ignored here; {!Timing_check} reports them
+    (CCCS-E304). *)
+val analyze :
+  cfg:Cfg_recover.t ->
+  fetch_cfg:Fetch.Config.t ->
+  compressed:bool ->
+  offsets:int array ->
+  sizes:int array ->
+  entry:int ->
+  t

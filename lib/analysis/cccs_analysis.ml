@@ -21,6 +21,8 @@ module Cfg_recover = Cfg_recover
 module Image_check = Image_check
 module Decode_dfa = Decode_dfa
 module Certify = Certify
+module Cache_ai = Cache_ai
+module Timing_check = Timing_check
 
 (* The pass registry, in pipeline order.  New passes (bus-energy lint, ATB
    reachability, ...) append here. *)
@@ -32,6 +34,7 @@ let passes : (module Pass.S) list =
     Decoder_check.pass;
     Image_check.pass;
     Certify.pass;
+    Timing_check.pass;
   ]
 
 let pass_names =

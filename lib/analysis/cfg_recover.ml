@@ -6,29 +6,65 @@
 type t = {
   nblocks : int;
   succs : int list array;
-      (** recovered successor block ids; may point out of range when the
-          image encodes a bad target — the validator reports those *)
+  indirect : bool array;
   reachable : bool array;
 }
 
-let successors_of_block ~nblocks i ops =
+(* A block ending in RET jumps through its link register.  Links are only
+   ever written by BRL, which stores [caller + 1], so the set of feasible
+   return targets is the fallthrough block of every call site.  This is an
+   over-approximation (any RET may return to any site); the timing pass's
+   trace-edge check (CCCS-E305) backstops it dynamically. *)
+let return_sites ~nblocks blocks =
+  let sites = ref [] in
+  Array.iteri
+    (fun i ops ->
+      if
+        i + 1 < nblocks
+        && List.exists
+             (fun op ->
+               match op.Tepic.Op.body with
+               | Tepic.Op.Branch { opcode = Tepic.Opcode.BRL; _ } -> true
+               | _ -> false)
+             ops
+      then sites := (i + 1) :: !sites)
+    blocks;
+  List.rev !sites
+
+let successors_of_block ~nblocks ~return_sites i ops =
   let fallthrough = if i + 1 < nblocks then [ i + 1 ] else [] in
   match List.rev ops with
-  | [] -> fallthrough
+  | [] -> (fallthrough, false)
   | last :: _ -> (
-      if not (Tepic.Op.is_branch last) then fallthrough
+      if not (Tepic.Op.is_branch last) then (fallthrough, false)
       else
+        (* A nonzero predicate can disable the branch entirely, in which
+           case control falls through — so every guarded branch keeps its
+           fallthrough successor. *)
+        let guarded = last.Tepic.Op.pred <> 0 in
         match Tepic.Op.branch_target last with
         | Some target ->
-            if Tepic.Op.is_conditional_branch last then target :: fallthrough
-            else [ target ]
-        | None -> [] (* RET: no static successor *))
+            if Tepic.Op.is_conditional_branch last || guarded then
+              (target :: fallthrough, false)
+            else (target :: [], false)
+        | None ->
+            (* RET: indirect through the link register. *)
+            let succs =
+              if guarded then return_sites @ fallthrough else return_sites
+            in
+            (succs, true))
 
 let recover ~entry (blocks : Tepic.Op.t list array) =
   let nblocks = Array.length blocks in
-  let succs =
-    Array.mapi (fun i ops -> successors_of_block ~nblocks i ops) blocks
-  in
+  let return_sites = return_sites ~nblocks blocks in
+  let succs = Array.make nblocks [] in
+  let indirect = Array.make nblocks false in
+  Array.iteri
+    (fun i ops ->
+      let ss, ind = successors_of_block ~nblocks ~return_sites i ops in
+      succs.(i) <- ss;
+      indirect.(i) <- ind)
+    blocks;
   let reachable = Array.make nblocks false in
   let rec dfs i =
     if i >= 0 && i < nblocks && not reachable.(i) then begin
@@ -37,4 +73,4 @@ let recover ~entry (blocks : Tepic.Op.t list array) =
     end
   in
   if nblocks > 0 then dfs entry;
-  { nblocks; succs; reachable }
+  { nblocks; succs; indirect; reachable }

@@ -1,0 +1,35 @@
+(** Control-flow recovery from decoded op sequences.
+
+    Successor edges are read off the {e recovered} branch ops — the
+    abstract decoder's output, never the compiler's own CFG — so a
+    mis-decoded branch target surfaces as an unmappable edge instead of
+    being masked by the (correct) IR.  The API is total: every block gets
+    a successor list, including guarded branches (which keep their
+    fallthrough edge, since a false predicate disables the branch) and
+    RET blocks (whose feasible targets are the fallthrough blocks of the
+    program's call sites — links are only ever written by BRL as
+    [caller + 1]).
+
+    Successor ids may point out of range when the image encodes a bad
+    target; consumers (Image_check CCCS-E103, Timing_check CCCS-E304)
+    report those rather than this module masking them. *)
+
+type t = {
+  nblocks : int;
+  succs : int list array;
+      (** recovered successor block ids, in [target; fallthrough] order
+          for two-way branches; may point out of range when the image
+          encodes a bad target — the validators report those *)
+  indirect : bool array;
+      (** block ends in RET: its successor set is the call-site
+          over-approximation, not a decoded target *)
+  reachable : bool array;  (** reachable from [entry] along [succs] *)
+}
+
+(** [recover ~entry blocks] — derive the CFG of decoded op sequences,
+    one [Tepic.Op.t list] per block.  Blocks ending in a non-branch (or
+    empty blocks) fall through; conditional and predicate-guarded
+    branches keep both edges; RET blocks get every call site's
+    fallthrough block as successors (empty when the program has no
+    calls). *)
+val recover : entry:int -> Tepic.Op.t list array -> t

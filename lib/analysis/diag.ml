@@ -134,6 +134,36 @@ let registry =
       Warning,
       "published codebook has no synchronizing sequence: a desynchronized \
        decoder can never be forced back into lock-step inside a block" );
+    (* Static fetch-timing analysis (Cache_ai / Timing_check) *)
+    ( "CCCS-E300",
+      Error,
+      "no finite WCET: the recovered CFG has a reachable cycle and no loop \
+       bound is available from a trace or a declared default" );
+    ( "CCCS-E301",
+      Error,
+      "simulated fetch cycles exceed the static WCET bound: the abstract \
+       interpretation is unsound for this scheme" );
+    ( "CCCS-E302",
+      Error,
+      "a block classified always-hit missed in simulation: the must-cache \
+       or must-ATB domain over-promised" );
+    ( "CCCS-E303",
+      Error,
+      "a block classified always-miss hit in simulation: the may-analysis \
+       under-approximated the reachable cache states" );
+    ( "CCCS-E304",
+      Error,
+      "recovered CFG successor edge points outside the program's block \
+       range" );
+    ( "CCCS-E305",
+      Error,
+      "executed trace takes an edge the recovered CFG does not contain: \
+       the timing analysis ran over an unsound control-flow model" );
+    ( "CCCS-W306",
+      Warning,
+      "unclassified-heavy CFG: most block fetches resolved to neither \
+       always-hit nor always-miss, so the WCET bound is dominated by \
+       worst-case misses" );
     (* Protected block framing (Encoding_check) *)
     ( "CCCS-E500",
       Error,

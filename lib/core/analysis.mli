@@ -16,6 +16,8 @@ module Cfg_recover = Cccs_analysis.Cfg_recover
 module Image_check = Cccs_analysis.Image_check
 module Decode_dfa = Cccs_analysis.Decode_dfa
 module Certify = Cccs_analysis.Certify
+module Cache_ai = Cccs_analysis.Cache_ai
+module Timing_check = Cccs_analysis.Timing_check
 
 val passes : (module Pass.S) list
 
@@ -32,3 +34,11 @@ val target_of_run : Workload_run.run -> Pass.target
 
 (** [lint_run r] — every pass over one loaded workload. *)
 val lint_run : Workload_run.run -> Diag.t list
+
+(** [wcet_run r] — static WCET fetch-timing analysis of every scheme of
+    one loaded workload, with loop bounds from the executed trace and the
+    simulator-replay soundness checks (CCCS-E30x) enabled. *)
+val wcet_run :
+  ?default_loop_bound:int ->
+  Workload_run.run ->
+  (Diag.t list * Timing_check.wcet option) list

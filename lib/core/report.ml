@@ -268,3 +268,34 @@ let all ppf () =
   ablation ppf (Experiments.ablation ());
   predictors ppf (Experiments.predictors ());
   superblocks ppf (Experiments.superblocks ())
+
+(* One line per scheme of one workload: the static bound, the simulated
+   replay, the bound/simulated ratio and the classification census. *)
+let wcet ppf rows =
+  List.iter
+    (fun (workload, ws) ->
+      Format.fprintf ppf "%s — static WCET vs Fetch.Sim replay@." workload;
+      hr ppf;
+      Format.fprintf ppf "%-10s %-10s %10s %10s %7s %5s %5s %5s %5s@."
+        "scheme" "model" "bound" "simulated" "ratio" "hit" "miss" "uncl"
+        "atb+";
+      List.iter
+        (fun (w : Cccs_analysis.Timing_check.wcet) ->
+          Format.fprintf ppf "%-10s %-10s %10d %10s %7s %5d %5d %5d %5d@."
+            w.Cccs_analysis.Timing_check.scheme
+            (Cccs_analysis.Timing_check.model_name
+               w.Cccs_analysis.Timing_check.model)
+            w.Cccs_analysis.Timing_check.bound
+            (match w.Cccs_analysis.Timing_check.sim_cycles with
+            | Some c -> string_of_int c
+            | None -> "-")
+            (match w.Cccs_analysis.Timing_check.ratio with
+            | Some r -> Printf.sprintf "%.2f" r
+            | None -> "-")
+            w.Cccs_analysis.Timing_check.always_hit
+            w.Cccs_analysis.Timing_check.always_miss
+            w.Cccs_analysis.Timing_check.unclassified
+            w.Cccs_analysis.Timing_check.atb_always_hit)
+        ws;
+      hr ppf)
+    rows

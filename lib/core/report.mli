@@ -17,5 +17,13 @@ val ablation : Format.formatter -> Experiments.ablation_row list -> unit
 val predictors : Format.formatter -> Experiments.predictor_row list -> unit
 val superblocks : Format.formatter -> Experiments.superblock_row list -> unit
 
+(** [wcet ppf rows] — per-workload static-WCET table: bound, simulated
+    cycles, bound/simulated ratio and the must/may classification census
+    per scheme (the `cccs wcet` human report). *)
+val wcet :
+  Format.formatter ->
+  (string * Cccs_analysis.Timing_check.wcet list) list ->
+  unit
+
 (** [all ppf ()] — run and print every experiment plus the ablation. *)
 val all : Format.formatter -> unit -> unit

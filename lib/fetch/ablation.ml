@@ -50,8 +50,9 @@ let run ~cfg ~base_scheme ~comp_scheme ~(comp_att : Encoding.Att.t) trace =
         (* Memory sees the compressed lines of this block. *)
         let comp_off = comp_scheme.Encoding.Scheme.block_offset_bits.(b) in
         let comp_sz = comp_scheme.Encoding.Scheme.block_bits.(b) in
-        let first = comp_off / cfg.Config.line_bits in
-        let last = (comp_off + max 1 comp_sz - 1) / cfg.Config.line_bits in
+        let first, last =
+          Config.line_span cfg ~offset_bits:comp_off ~size_bits:comp_sz
+        in
         for line = first to last do
           ignore (Bus.fetch_line bus line)
         done;

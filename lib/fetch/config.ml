@@ -60,3 +60,13 @@ let num_lines t = 8 * t.cache_bytes / t.line_bits
 let num_sets t =
   let lines = num_lines t in
   max 1 (lines / t.ways)
+
+(* The one line-mapping rule every consumer shares: [Line_cache]'s
+   hit/touch geometry, the ATT's per-block line counts and the static
+   timing analysis all call this, so they can never disagree on which
+   lines a block spans. *)
+let line_span t ~offset_bits ~size_bits =
+  if t.line_bits <= 0 then invalid_arg "Config.line_span";
+  let first = offset_bits / t.line_bits in
+  let last = (offset_bits + max 1 size_bits - 1) / t.line_bits in
+  (first, last)

@@ -50,3 +50,9 @@ val lines_of_bits : t -> int -> int
 
 val num_lines : t -> int
 val num_sets : t -> int
+
+(** [line_span t ~offset_bits ~size_bits] — inclusive memory-line range
+    the extent [offset_bits, offset_bits + size_bits) occupies.  The
+    single geometry rule shared by {!Line_cache}, the ATT builder and the
+    static timing analysis (read-only; touches no state). *)
+val line_span : t -> offset_bits:int -> size_bits:int -> int * int

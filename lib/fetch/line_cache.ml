@@ -18,10 +18,7 @@ let create cfg =
   }
 
 let lines_of_block t ~offset_bits ~size_bits =
-  let lb = t.cfg.Config.line_bits in
-  let first = offset_bits / lb in
-  let last = (offset_bits + max 1 size_bits - 1) / lb in
-  (first, last)
+  Config.line_span t.cfg ~offset_bits ~size_bits
 
 let set_of t line = line mod t.sets
 

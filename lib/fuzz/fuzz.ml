@@ -44,6 +44,7 @@ type finding_kind =
       detail : string;
     }
   | Book_conflict of { book : string; detail : string }
+  | Wcet_violation of { scheme : string; detail : string }
   | Case_crash of { exn : string }
 
 let kind_label = function
@@ -52,6 +53,7 @@ let kind_label = function
   | Silent_corruption _ -> "silent-corruption"
   | Oracle_disagreement _ -> "oracle-disagreement"
   | Book_conflict _ -> "book-conflict"
+  | Wcet_violation _ -> "wcet-violation"
   | Case_crash _ -> "case-crash"
 
 type finding = { case : case; kind : finding_kind; minimized : bool }
@@ -126,6 +128,15 @@ let scheme_cache : (string, scheme_entry) Hashtbl.t Domain.DLS.key =
 let dfa_cache : (string, (Dfa.t, string) result) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
+let trace_cache : (string, Emulator.Trace.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 7)
+
+(* WCET-vs-simulator verdict per (program, scheme, protection): any
+   CCCS-E3xx is a soundness hole, memoized because the analysis + replay
+   is far too heavy to rerun per clean case. *)
+let wcet_cache : (string, finding_kind option) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
 let program_of ~master pool =
   let tbl = Domain.DLS.get program_cache in
   let key = Printf.sprintf "%d:%d" master pool in
@@ -183,6 +194,54 @@ let scheme_of ~master ~pool ~scheme ~protection =
 let entry_of case =
   scheme_of ~master:case.master ~pool:case.pool ~scheme:case.scheme
     ~protection:case.protection
+
+let trace_of ~master pool =
+  let tbl = Domain.DLS.get trace_cache in
+  let key = Printf.sprintf "%d:%d" master pool in
+  match Hashtbl.find_opt tbl key with
+  | Some t -> t
+  | None ->
+      let program = program_of ~master pool in
+      let t =
+        (Emulator.Exec.run ~max_blocks:50_000 program).Emulator.Exec.trace
+      in
+      Hashtbl.add tbl key t;
+      t
+
+(* The clean-case timing oracle: the static WCET bound must dominate a
+   simulator replay of the pool program's own trace — any CCCS-E3xx error
+   out of Timing_check (bound exceeded, always-hit missed, CFG/trace
+   disagreement) is a soundness hole in the analysis or the scheme's
+   image geometry. *)
+let wcet_finding case entry =
+  let tbl = Domain.DLS.get wcet_cache in
+  let key =
+    Printf.sprintf "%d:%d:%s:%s" case.master case.pool case.scheme
+      (Scheme.protection_name case.protection)
+  in
+  match Hashtbl.find_opt tbl key with
+  | Some f -> f
+  | None ->
+      let program = program_of ~master:case.master case.pool in
+      let trace = trace_of ~master:case.master case.pool in
+      let diags, _ =
+        Cccs_analysis.Timing_check.analyze_scheme
+          ~workload:(Printf.sprintf "fuzz%d" case.pool)
+          ~program ~strategy:entry.strategy ~trace entry.sc
+      in
+      let f =
+        match List.find_opt Cccs_analysis.Diag.is_error diags with
+        | Some d ->
+            Some
+              (Wcet_violation
+                 {
+                   scheme = case.scheme;
+                   detail = Cccs_analysis.Diag.to_string d;
+                 })
+        | None -> None
+      in
+      Hashtbl.add tbl key f;
+      f
 
 let dfa_of ~master ~pool ~scheme name book =
   let tbl = Domain.DLS.get dfa_cache in
@@ -466,6 +525,7 @@ let eval_case case =
     end
   in
   List.iter check_block case.blocks;
+  if (not faulted) && !finding = None then finding := wcet_finding case entry;
   (* Codeword-level three-way differential: over the first selected
      block's payload window, and over a pure random bitstring. *)
   let steps = ref 0 in
@@ -717,6 +777,8 @@ let kind_to_json k =
         ]
     | Book_conflict { book; detail } ->
         [ ("book", Json.Str book); ("detail", Json.Str detail) ]
+    | Wcet_violation { scheme; detail } ->
+        [ ("scheme", Json.Str scheme); ("detail", Json.Str detail) ]
     | Case_crash { exn } -> [ ("exn", Json.Str exn) ])
 
 let finding_to_json f =

@@ -69,6 +69,9 @@ type finding_kind =
     }
   | Book_conflict of { book : string; detail : string }
       (** a published codebook failed DFA construction *)
+  | Wcet_violation of { scheme : string; detail : string }
+      (** clean case whose simulated fetch cycles escaped the static WCET
+          bound, or whose timing analysis raised any CCCS-E3xx *)
   | Case_crash of { exn : string }  (** the case barrier caught a crash *)
 
 val kind_label : finding_kind -> string

@@ -22,4 +22,5 @@ let () =
       ("obs_ledger", Test_obs_ledger.suite);
       ("trace_stream", Test_trace_stream.suite);
       ("fuzz", Test_fuzz.suite);
+      ("wcet", Test_wcet.suite);
     ]

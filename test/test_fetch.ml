@@ -42,6 +42,92 @@ let test_table1_exact () =
   check "compressed mispredict miss bufmiss" (10 + (n - 1))
     (p Fetch.Config.Compressed ~predicted:false ~cache_hit:false ~buffer_hit:false ~lines:n)
 
+(* Table 1 as data: one closed-form expectation per (model, predicted,
+   cache_hit) row with the L0 buffer column split out, checked over every
+   flag combination and a sweep of line counts — so the simulator and the
+   WCET charge model can never disagree on the penalty function without a
+   test failing. *)
+let test_table1_exhaustive () =
+  let open Fetch.Config in
+  let bufferless =
+    [
+      (Base, true, true, fun _ -> 1);
+      (Base, true, false, fun n -> 1 + (n - 1));
+      (Base, false, true, fun _ -> 2);
+      (Base, false, false, fun n -> 8 + (n - 1));
+      (Tailored, true, true, fun _ -> 1);
+      (Tailored, true, false, fun n -> 2 + (n - 1));
+      (Tailored, false, true, fun _ -> 2);
+      (Tailored, false, false, fun n -> 9 + (n - 1));
+    ]
+  in
+  let compressed =
+    [
+      (true, true, fun n -> 1 + (n - 1));
+      (true, false, fun n -> 3 + (n - 1));
+      (false, true, fun n -> 2 + (n - 1));
+      (false, false, fun n -> 10 + (n - 1));
+    ]
+  in
+  for lines = 0 to 6 do
+    let n = max 1 lines in
+    (* Base/Tailored have no L0 buffer: the flag must be ignored. *)
+    List.iter
+      (fun (model, predicted, cache_hit, expect) ->
+        List.iter
+          (fun buffer_hit ->
+            check
+              (Printf.sprintf "bufferless row n=%d" lines)
+              (expect n)
+              (penalty model ~predicted ~cache_hit ~buffer_hit ~lines))
+          [ true; false ])
+      bufferless;
+    (* Compressed: an L0 hit is one cycle no matter what. *)
+    List.iter
+      (fun (predicted, cache_hit) ->
+        check
+          (Printf.sprintf "compressed buffer hit n=%d" lines)
+          1
+          (penalty Compressed ~predicted ~cache_hit ~buffer_hit:true ~lines))
+      [ (true, true); (true, false); (false, true); (false, false) ];
+    List.iter
+      (fun (predicted, cache_hit, expect) ->
+        check
+          (Printf.sprintf "compressed row n=%d" lines)
+          (expect n)
+          (penalty Compressed ~predicted ~cache_hit ~buffer_hit:false ~lines))
+      compressed;
+    (* The invariants the static WCET charge relies on: the
+       (predicted:false, buffer_hit:false) row dominates every row of the
+       same hit class, and the miss row dominates the hit row. *)
+    List.iter
+      (fun model ->
+        List.iter
+          (fun cache_hit ->
+            let charge =
+              penalty model ~predicted:false ~cache_hit ~buffer_hit:false
+                ~lines
+            in
+            List.iter
+              (fun predicted ->
+                List.iter
+                  (fun buffer_hit ->
+                    Alcotest.(check bool)
+                      "charge row dominates" true
+                      (penalty model ~predicted ~cache_hit ~buffer_hit ~lines
+                      <= charge))
+                  [ true; false ])
+              [ true; false ])
+          [ true; false ];
+        Alcotest.(check bool)
+          "miss row dominates hit row" true
+          (penalty model ~predicted:false ~cache_hit:false ~buffer_hit:false
+             ~lines
+          >= penalty model ~predicted:false ~cache_hit:true ~buffer_hit:false
+               ~lines))
+      [ Base; Tailored; Compressed ]
+  done
+
 let test_config_geometry () =
   let c = Fetch.Config.default in
   check "line bits = max MOP" 240 c.Fetch.Config.line_bits;
@@ -265,6 +351,8 @@ let test_kernel_fits_l0 () =
 let suite =
   [
     Alcotest.test_case "Table 1 penalties, verbatim" `Quick test_table1_exact;
+    Alcotest.test_case "Table 1 penalties, exhaustive" `Quick
+      test_table1_exhaustive;
     Alcotest.test_case "cache geometry" `Quick test_config_geometry;
     Alcotest.test_case "line cache basics" `Quick test_line_cache_basics;
     Alcotest.test_case "restricted placement" `Quick
