@@ -129,6 +129,159 @@ let compress_cmd =
     (Cmd.info "compress" ~doc:"Build every encoding scheme for a workload")
     Term.(const run $ setup_logs $ bench_arg)
 
+let decode_cmd =
+  let scheme_arg =
+    let doc =
+      "Scheme to decode: $(b,base), $(b,byte), $(b,stream*), $(b,full), \
+       $(b,tailored) or $(b,dict) (see `cccs compress BENCH`)."
+    in
+    Arg.(value & opt string "full" & info [ "scheme" ] ~docv:"NAME" ~doc)
+  in
+  let protect_arg =
+    let doc =
+      "Wrap the scheme in protected block framing first: $(b,none), \
+       $(b,crc8) or $(b,crc16).  Framed images split at exact frame \
+       boundaries (strategy $(b,frames))."
+    in
+    Arg.(value & opt string "none" & info [ "protect" ] ~docv:"MODE" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains for the chunked decode (default: CCCS_JOBS).  The \
+       effective count is clamped to the machine's cores and degrades to \
+       1 when the scheme has no splitting certificate — parallel decode \
+       never loses to sequential."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the decoded 40-bit baseline image to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc = "Machine-readable report (schema cccs-decode/1) on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run () bench scheme protect jobs out json flame =
+    let r = Cccs.Workload_run.load (find_workload bench) in
+    let s = Cccs.Experiments.schemes_of r in
+    let named =
+      Cccs.Experiments.all_schemes s @ [ ("dict", s.Cccs.Experiments.dict) ]
+    in
+    let sc =
+      match List.assoc_opt scheme named with
+      | Some sc -> sc
+      | None ->
+          Logs.err (fun m ->
+              m "decode: unknown scheme %S (one of: %s)" scheme
+                (String.concat ", " (List.map fst named)));
+          exit 2
+    in
+    let sc =
+      match Encoding.Scheme.protection_of_name protect with
+      | Some Encoding.Scheme.Unprotected -> sc
+      | Some p -> Encoding.Scheme.protect p sc
+      | None ->
+          Logs.err (fun m ->
+              m "decode: unknown protection %S (none|crc8|crc16)" protect);
+          exit 2
+    in
+    let rc =
+      match flame with
+      | None -> None
+      | Some _ -> Some (Cccs_obs.Recorder.create ())
+    in
+    let obs = Option.map Cccs_obs.Recorder.sink rc in
+    let truth =
+      Tepic.Program.baseline_image
+        r.Cccs.Workload_run.compiled.Cccs.Pipeline.program
+    in
+    (* Warm the splitting certificate (one-time DFA analysis, memoized)
+       so the reported throughput measures the decode itself. *)
+    ignore (Cccs.Par_decode.classify sc);
+    let t0 = Unix.gettimeofday () in
+    match Cccs.Pipeline.decompress ?jobs ?obs sc with
+    | Error e ->
+        Logs.err (fun m ->
+            m "decode: %s" (Encoding.Scheme.decode_error_to_string e));
+        exit 1
+    | Ok (img, rep) ->
+        let seconds = Unix.gettimeofday () -. t0 in
+        let exact = String.equal img truth in
+        let mb_per_s =
+          if seconds > 0.0 then
+            float_of_int (String.length sc.Encoding.Scheme.image)
+            /. seconds /. 1e6
+          else 0.0
+        in
+        (match out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out_bin path in
+            output_string oc img;
+            close_out oc);
+        (match (flame, rc) with
+        | Some path, Some rc -> write_flame path rc
+        | _ -> ());
+        if json then
+          print_endline
+            (Cccs_obs.Json.to_string
+               (Cccs_obs.Json.Obj
+                  [
+                    ("schema", Cccs_obs.Json.Str "cccs-decode/1");
+                    ("bench", Cccs_obs.Json.Str bench);
+                    ("scheme", Cccs_obs.Json.Str sc.Encoding.Scheme.name);
+                    ("protection", Cccs_obs.Json.Str protect);
+                    ( "strategy",
+                      Cccs_obs.Json.Str
+                        (Cccs.Par_decode.strategy_name
+                           rep.Cccs.Par_decode.strategy) );
+                    ("jobs", Cccs_obs.Json.int rep.Cccs.Par_decode.jobs);
+                    ("cores", Cccs_obs.Json.int (Cccs.Parallel.cores ()));
+                    ("chunks", Cccs_obs.Json.int rep.Cccs.Par_decode.chunks);
+                    ( "min_chunk_bits",
+                      Cccs_obs.Json.int rep.Cccs.Par_decode.min_chunk_bits );
+                    ( "resync_overhead_bits",
+                      Cccs_obs.Json.int
+                        rep.Cccs.Par_decode.resync_overhead_bits );
+                    ( "compressed_bytes",
+                      Cccs_obs.Json.int (String.length sc.Encoding.Scheme.image)
+                    );
+                    ("decoded_bytes", Cccs_obs.Json.int (String.length img));
+                    ("exact", Cccs_obs.Json.Bool exact);
+                    ("seconds", Cccs_obs.Json.Num seconds);
+                    ("mb_per_s", Cccs_obs.Json.Num mb_per_s);
+                  ]))
+        else begin
+          Printf.printf "workload       %s\n" bench;
+          Printf.printf "scheme         %s\n" sc.Encoding.Scheme.name;
+          Printf.printf "strategy       %s\n"
+            (Cccs.Par_decode.strategy_to_string rep.Cccs.Par_decode.strategy);
+          Printf.printf "jobs           %d (of %d core(s))\n"
+            rep.Cccs.Par_decode.jobs (Cccs.Parallel.cores ());
+          Printf.printf "chunks         %d (floor %d bits/chunk)\n"
+            rep.Cccs.Par_decode.chunks rep.Cccs.Par_decode.min_chunk_bits;
+          Printf.printf "resync bound   %d bits speculative over-read\n"
+            rep.Cccs.Par_decode.resync_overhead_bits;
+          Printf.printf "decoded        %d bytes from %d compressed (%s)\n"
+            (String.length img)
+            (String.length sc.Encoding.Scheme.image)
+            (if exact then "bit-exact vs baseline" else "MISMATCH");
+          Printf.printf "throughput     %.2f MB/s compressed (%.4fs)\n"
+            mb_per_s seconds
+        end;
+        exit (if exact then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "decode"
+       ~doc:
+         "Decompress one scheme's ROM image back to the 40-bit baseline \
+          image, splitting it across worker domains at certified resync \
+          points (or frame/fixed-width boundaries); verifies bit-exactness \
+          against the baseline")
+    Term.(const run $ setup_logs $ bench_arg $ scheme_arg $ protect_arg
+          $ jobs_arg $ out_arg $ json_arg $ flame_arg)
+
 let perfetto_arg =
   let doc =
     "Also write a Chrome trace-event / Perfetto JSON timeline to $(docv) \
@@ -1599,6 +1752,7 @@ let () =
       list_cmd;
       compile_cmd;
       compress_cmd;
+      decode_cmd;
       simulate_cmd;
       decoder_cmd;
       trace_cmd;

@@ -101,6 +101,15 @@ module Reader = struct
            r.cursor r.nbits);
     r.cursor <- r.cursor + n
 
+  (* Byte-aligned block layouts (Scheme.build_blocks) pad each block to a
+     byte boundary; a decoder walking blocks back-to-back skips the padding
+     with this instead of recomputing offsets. *)
+  let align_byte r =
+    let pad = (8 - (r.cursor land 7)) land 7 in
+    let pad = min pad (r.nbits - r.cursor) in
+    r.cursor <- r.cursor + pad;
+    pad
+
   let read_bit r =
     if r.cursor >= r.nbits then
       invalid_arg

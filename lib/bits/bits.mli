@@ -62,6 +62,13 @@ module Reader : sig
       match used. *)
   val advance : t -> int -> unit
 
+  (** [align_byte r] advances the cursor to the next byte boundary (or the
+      end of the stream, whichever is first) and returns the number of
+      padding bits skipped.  The reader-side mirror of
+      {!Writer.align_byte}, used when decoding byte-aligned block layouts
+      back-to-back. *)
+  val align_byte : t -> int
+
   (** [read_bit r] consumes one bit.  Raises [Invalid_argument] at end of
       stream; the message carries the cursor position and stream length
       (e.g. ["Bits.Reader.read_bit: exhausted at bit 412/408"]). *)

@@ -1,13 +1,16 @@
-(** Deterministic domain-parallel mapping for the experiment sweeps.
+(** Deterministic domain-parallel mapping with a never-lose contract.
 
-    [map f xs] distributes [xs] over a fixed pool of worker domains with a
-    static round-robin partition and gathers results in input order, so the
-    output is independent of scheduling — bit-identical to
-    [List.map f xs] whenever [f] is deterministic.  The pool size comes
-    from the [CCCS_JOBS] environment variable unless overridden; [1] (the
-    default when the variable is unset or unparsable) falls back to a plain
-    sequential [List.map] in the calling domain, preserving its memo
-    caches and observability exactly.
+    [map f xs] distributes [xs] over a pool of worker domains claiming
+    items dynamically off a shared atomic counter, and gathers results in
+    input order, so the output is independent of scheduling —
+    bit-identical to [List.map f xs] whenever [f] is deterministic.
+
+    Never-lose: requested parallelism is clamped to the machine's core
+    count (a 1-core box degrades every call to a plain sequential
+    [List.map] — zero domains spawned), work claiming is dynamic so a
+    slow item cannot strand the pool, and the first real spawn widens the
+    minor heap once per process so allocation-heavy workers do not convoy
+    on stop-the-world minor collections.
 
     Tasks must be domain-safe: the per-process memo tables
     ({!Workload_run}, {!Experiments}) are domain-local, so each worker
@@ -22,7 +25,8 @@
 val max_jobs : int
 
 (** [cores ()] — [Domain.recommended_domain_count ()]: the machine
-    capacity both {!default_jobs} and the perf reports quote. *)
+    capacity that {!default_jobs}, the sequential-degrade clamp and the
+    perf reports all quote. *)
 val cores : unit -> int
 
 (** [default_jobs ()] — the [CCCS_JOBS] environment variable clamped to
@@ -30,8 +34,21 @@ val cores : unit -> int
     oversubscribed pool can never be selected by default. *)
 val default_jobs : unit -> int
 
-(** [map ?jobs f xs] — ordered parallel map.  [jobs] defaults to
-    [default_jobs ()].  If any application of [f] raises, every worker is
-    joined first and then the failure with the smallest item index is
-    re-raised. *)
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [effective_jobs ?force ?jobs n] — the pool size {!map} would use for
+    [n] items: [jobs] (default {!default_jobs}) clamped to [max_jobs],
+    then to [cores ()] unless [force], then to [n].  Exposed so tests and
+    benchmarks can observe the sequential-degrade decision. *)
+val effective_jobs : ?force:bool -> ?jobs:int -> int -> int
+
+(** [map ?jobs ?force f xs] — ordered parallel map over
+    [effective_jobs ?force ?jobs (List.length xs)] domains (sequential in
+    the calling domain when that is 1).  [~force:true] skips the
+    core-count clamp — for tests that must exercise real domains on a
+    small machine; production callers should never pass it.
+
+    On failure every worker still drains the remaining items (the set of
+    failing indices is deterministic), then the exception from the
+    smallest failing index is re-raised with its backtrace.  When several
+    items failed, the list of failing indices is appended to the message
+    (preserving the [Failure] / [Invalid_argument] constructor). *)
+val map : ?jobs:int -> ?force:bool -> ('a -> 'b) -> 'a list -> 'b list

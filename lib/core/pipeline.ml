@@ -99,3 +99,10 @@ let lint (c : compiled) =
   List.concat_map
     (fun (module P : Cccs_analysis.Pass.S) -> P.run target)
     [ Cccs_analysis.Dataflow_check.pass; Cccs_analysis.Schedule_check.pass ]
+
+(* The decompression direction of the pipeline: compiled program -> scheme
+   image -> baseline image.  A thin veneer over Par_decode so every
+   pipeline consumer gets the --jobs plumbing (and the never-lose clamp)
+   without knowing the splitting machinery. *)
+let decompress ?jobs ?force ?obs ?min_chunk_bits scheme =
+  Par_decode.decode ?jobs ?force ?obs ?min_chunk_bits scheme

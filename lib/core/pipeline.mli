@@ -39,3 +39,16 @@ val compile_profile : ?speculate:bool -> Workloads.Profile.t -> compiled
     schedule checks on the packed program.  Encoding-side passes need the
     built schemes; see {!Analysis.lint_run}. *)
 val lint : compiled -> Cccs_analysis.Diag.t list
+
+(** [decompress ?jobs ?force ?obs scheme] — decode [scheme]'s compressed
+    image back to the 40-bit baseline image, splitting across [jobs]
+    worker domains when the scheme carries a splitting certificate
+    ({!Par_decode.classify}); bit-exact with the sequential decode at any
+    jobs count.  See {!Par_decode.decode} for the parameters. *)
+val decompress :
+  ?jobs:int ->
+  ?force:bool ->
+  ?obs:Cccs_obs.Sink.t ->
+  ?min_chunk_bits:int ->
+  Encoding.Scheme.t ->
+  (string * Par_decode.report, Encoding.Scheme.decode_error) result

@@ -87,60 +87,81 @@ let exn_message = function
   | Not_found -> "lookup failed (Not_found)"
   | exn -> Printexc.to_string exn
 
+(* The verifying decode of one block with the reader already positioned on
+   the block's first bit.  Factored out of [decode_block_checked] so the
+   chunked parallel decoder (Cccs.Par_decode) walks blocks back-to-back
+   through the exact same checks — a corrupt stream yields the same typed
+   error, at the same bit position, whichever path found it. *)
+let decode_block_checked_at t r i =
+  let offset = Bits.Reader.pos r in
+  let fail reason =
+    Error { scheme = t.name; block = i; bit = Bits.Reader.pos r; reason }
+  in
+  let decode_and_check ~expect_consumed =
+    let start = Bits.Reader.pos r in
+    match t.decode_payload r i with
+    | exception exn -> fail (exn_message exn)
+    | ops ->
+        let consumed = Bits.Reader.pos r - start in
+        if consumed <> expect_consumed then
+          fail
+            (Printf.sprintf "consumed %d bits, block frame holds %d" consumed
+               expect_consumed)
+        else Ok ops
+  in
+  match t.frame.protection with
+  | Unprotected -> decode_and_check ~expect_consumed:t.block_bits.(i)
+  | p -> (
+      let f = t.frame in
+      let expect_payload = payload_bits t i in
+      match Bits.Reader.read_bits_opt r ~width:f.len_bits with
+      | None -> fail "length field truncated"
+      | Some plen when plen <> expect_payload ->
+          fail
+            (Printf.sprintf "length field reads %d, frame geometry implies %d"
+               plen expect_payload)
+      | Some plen -> (
+          match
+            Bits.Crc.of_reader ~width:f.guard_bits ~poly:(poly_of p) r
+              ~nbits:plen
+          with
+          | exception exn -> fail (exn_message exn)
+          | crc -> (
+              match Bits.Reader.read_bits_opt r ~width:f.guard_bits with
+              | None -> fail "guard word truncated"
+              | Some guard when guard <> crc ->
+                  fail
+                    (Printf.sprintf
+                       "guard word %#x disagrees with payload %s %#x" guard
+                       (protection_name p) crc)
+              | Some _ -> (
+                  Bits.Reader.seek r offset;
+                  (* decode_payload re-reads the length field. *)
+                  match decode_and_check ~expect_consumed:(f.len_bits + plen) with
+                  | Ok ops ->
+                      (* Step over the already-verified guard word so the
+                         cursor rests past the whole framed block — the
+                         invariant the back-to-back chunk walk relies on. *)
+                      Bits.Reader.advance r f.guard_bits;
+                      Ok ops
+                  | Error _ as e -> e))))
+
 let decode_block_checked ?image t i =
   let image = match image with Some s -> s | None -> t.image in
   if i < 0 || i >= Array.length t.block_offset_bits then
     invalid_arg (Printf.sprintf "Scheme.decode_block_checked: block %d" i)
   else begin
-    let offset = t.block_offset_bits.(i) in
     let r = Bits.Reader.of_string image in
-    let fail reason = Error { scheme = t.name; block = i; bit = Bits.Reader.pos r; reason } in
-    let decode_and_check ~expect_consumed =
-      let start = Bits.Reader.pos r in
-      match t.decode_payload r i with
-      | exception exn -> fail (exn_message exn)
-      | ops ->
-          let consumed = Bits.Reader.pos r - start in
-          if consumed <> expect_consumed then
-            fail
-              (Printf.sprintf "consumed %d bits, block frame holds %d"
-                 consumed expect_consumed)
-          else Ok ops
-    in
-    match Bits.Reader.seek r offset with
-    | exception exn -> fail (exn_message exn)
-    | () -> (
-        match t.frame.protection with
-        | Unprotected -> decode_and_check ~expect_consumed:t.block_bits.(i)
-        | p -> (
-            let f = t.frame in
-            let expect_payload = payload_bits t i in
-            match Bits.Reader.read_bits_opt r ~width:f.len_bits with
-            | None -> fail "length field truncated"
-            | Some plen when plen <> expect_payload ->
-                fail
-                  (Printf.sprintf
-                     "length field reads %d, frame geometry implies %d" plen
-                     expect_payload)
-            | Some plen -> (
-                match
-                  Bits.Crc.of_reader ~width:f.guard_bits ~poly:(poly_of p) r
-                    ~nbits:plen
-                with
-                | exception exn -> fail (exn_message exn)
-                | crc -> (
-                    match Bits.Reader.read_bits_opt r ~width:f.guard_bits with
-                    | None -> fail "guard word truncated"
-                    | Some guard when guard <> crc ->
-                        fail
-                          (Printf.sprintf
-                             "guard word %#x disagrees with payload %s %#x"
-                             guard (protection_name p) crc)
-                    | Some _ ->
-                        Bits.Reader.seek r offset;
-                        (* decode_payload re-reads the length field. *)
-                        decode_and_check
-                          ~expect_consumed:(f.len_bits + plen)))))
+    match Bits.Reader.seek r t.block_offset_bits.(i) with
+    | exception exn ->
+        Error
+          {
+            scheme = t.name;
+            block = i;
+            bit = Bits.Reader.pos r;
+            reason = exn_message exn;
+          }
+    | () -> decode_block_checked_at t r i
   end
 
 let verify t program =

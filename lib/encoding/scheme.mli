@@ -118,6 +118,15 @@ val payload_bits : t -> int -> int
 val decode_block_checked :
   ?image:string -> t -> int -> (Tepic.Op.t list, decode_error) result
 
+(** [decode_block_checked_at t r i] — {!decode_block_checked} with the
+    reader [r] already positioned on block [i]'s first bit.  The chunked
+    parallel decoder walks blocks back-to-back through this, so a corrupt
+    stream yields the same typed error at the same bit position as the
+    sequential checked decode.  On [Ok] the cursor rests just past the
+    block's last framed bit (before any byte-alignment padding). *)
+val decode_block_checked_at :
+  t -> Bits.Reader.t -> int -> (Tepic.Op.t list, decode_error) result
+
 (** [protect p t] — re-frame every block of [t] as
     [length | payload | guard] with a CRC-[p] guard word, byte-aligned like
     the original layout.  [code_bits], offsets and sizes describe the

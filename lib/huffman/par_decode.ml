@@ -1,0 +1,124 @@
+(* Chunk planning for speculative parallel decode of one compressed image.
+
+   A compressed instruction image is a sequence of byte-aligned segments
+   (blocks).  To decode it with several workers, the image is cut at a
+   subset of segment boundaries into contiguous chunks; each worker decodes
+   its chunk independently and the per-chunk outputs are concatenated in
+   order.  Whether a given boundary is *safe* to cut at is the caller's
+   proof obligation (frame guards, fixed-width fields, or a DFA-certified
+   resynchronization bound — see Cccs.Par_decode); this module owns the
+   part that is pure arithmetic: how many chunks to make and where, so
+   that parallelism never loses to the sequential decode it replaces.
+
+   The chunk-size cost model: spawning a worker domain costs a bounded
+   setup time (domain creation, minor-heap arena, join).  A chunk is only
+   worth spawning when its decode work dwarfs that setup, so the planner
+   enforces a minimum chunk size
+
+     min_chunk_bits = spawn_overhead_ns * overhead_budget / ns_per_bit
+
+   — the chunk must run at least [overhead_budget] times longer than the
+   spawn costs, capping the parallel overhead at 1/overhead_budget of the
+   total.  [ns_per_bit] comes from a calibration probe run by the caller
+   (decode a bounded prefix, time it); when the clock is too coarse to
+   resolve the probe, the model assumes the fastest plausible decoder
+   (default_ns_per_bit), which *overstates* min_chunk_bits — the failure
+   mode is fewer chunks, never an oversubscribed loss. *)
+
+type chunk = {
+  id : int;  (* position in the plan, 0-based *)
+  first : int;  (* first segment index *)
+  count : int;  (* segments in this chunk, >= 1 *)
+  start_bit : int;  (* bit offset of the chunk in the image *)
+  bits : int;  (* total payload bits over the chunk's segments *)
+}
+
+type cost_model = {
+  spawn_overhead_ns : int;
+  overhead_budget : int;
+  default_ns_per_bit : float;
+}
+
+(* 50us covers Domain.spawn + join on current mainline OCaml with a
+   comfortable margin; budget 10 keeps parallel overhead under 10%; the
+   1 ns/bit fallback models a ~1 Gbit/s decoder — faster than the LUT path
+   ever measures, so an unresolved probe can only make chunks bigger. *)
+let default_cost_model =
+  { spawn_overhead_ns = 50_000; overhead_budget = 10; default_ns_per_bit = 1.0 }
+
+let min_chunk_bits model ~ns_per_bit =
+  let ns =
+    if Float.is_finite ns_per_bit && ns_per_bit > 0.0 then ns_per_bit
+    else model.default_ns_per_bit
+  in
+  let bits =
+    float_of_int (model.spawn_overhead_ns * model.overhead_budget) /. ns
+  in
+  (* Never plan chunks below one segment's worth of work anyway; the cap
+     keeps the figure inside int range on 32-bit-unfriendly inputs. *)
+  int_of_float (Float.min bits 1e12)
+
+(* [plan ~offsets ~sizes ~jobs ~min_bits] — cut [n] segments into at most
+   [jobs] contiguous chunks of >= [min_bits] payload bits each (except
+   that the plan always has >= 1 chunk, and the last chunk takes the
+   remainder).  Segment [i] spans [offsets.(i), offsets.(i) + sizes.(i));
+   chunk boundaries always coincide with segment boundaries.
+
+   The cut rule targets an even split first — [target = total/jobs] — and
+   raises it to [min_bits] when the cost model demands bigger chunks, so
+   the plan degrades smoothly: plenty of work => [jobs] balanced chunks;
+   small image => fewer, bigger chunks; tiny image => one chunk (the
+   caller then decodes in place, spawning nothing). *)
+let plan ~offsets ~sizes ~jobs ~min_bits =
+  let n = Array.length sizes in
+  if n <> Array.length offsets then invalid_arg "Par_decode.plan: length";
+  if jobs < 1 then invalid_arg "Par_decode.plan: jobs";
+  if n = 0 then [||]
+  else begin
+    let total = Array.fold_left ( + ) 0 sizes in
+    let target = max 1 (max min_bits ((total + jobs - 1) / jobs)) in
+    let chunks = ref [] in
+    let first = ref 0 and acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc + sizes.(i);
+      (* Cut after segment [i] once the chunk is full — unless it is the
+         last segment (the remainder always joins the current chunk). *)
+      if !acc >= target && i < n - 1 && List.length !chunks < jobs - 1 then begin
+        chunks :=
+          {
+            id = List.length !chunks;
+            first = !first;
+            count = i - !first + 1;
+            start_bit = offsets.(!first);
+            bits = !acc;
+          }
+          :: !chunks;
+        first := i + 1;
+        acc := 0
+      end
+    done;
+    chunks :=
+      {
+        id = List.length !chunks;
+        first = !first;
+        count = n - !first;
+        start_bit = offsets.(!first);
+        bits = !acc;
+      }
+      :: !chunks;
+    Array.of_list (List.rev !chunks)
+  end
+
+(* [gather pieces] — concatenate per-chunk outputs in plan order.  Every
+   chunk decodes whole byte-aligned segments, so each piece is a whole
+   number of bytes and the gather is a byte blit (Writer.add_string on an
+   aligned writer is a single Bytes.blit_string per piece). *)
+let gather pieces =
+  let w =
+    Bits.Writer.create
+      ~initial_bytes:
+        (max 64 (List.fold_left (fun a s -> a + String.length s) 0 pieces))
+      ()
+  in
+  List.iter (Bits.Writer.add_string w) pieces;
+  Bits.Writer.contents w

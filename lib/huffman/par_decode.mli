@@ -1,0 +1,57 @@
+(** Chunk planning for speculative parallel decode of a compressed image.
+
+    The image is a sequence of byte-aligned segments (blocks); the planner
+    cuts it at segment boundaries into at most [jobs] contiguous chunks,
+    each big enough — per the cost model — that spawning a worker domain
+    for it cannot make the parallel decode lose to the sequential one.
+    Which boundaries are {e safe} cut points is the caller's proof
+    obligation (frame guards, fixed-width layouts, or DFA-certified
+    resynchronization bounds — see [Cccs.Par_decode]); this module owns
+    the arithmetic only. *)
+
+type chunk = {
+  id : int;  (** position in the plan, 0-based *)
+  first : int;  (** first segment index *)
+  count : int;  (** segments in this chunk, at least 1 *)
+  start_bit : int;  (** bit offset of the chunk in the image *)
+  bits : int;  (** total payload bits over the chunk's segments *)
+}
+
+(** Chunk-size cost model:
+    [min_chunk_bits = spawn_overhead_ns * overhead_budget / ns_per_bit] —
+    a chunk must represent at least [overhead_budget] times the work of
+    spawning its worker, capping parallel overhead at
+    [1/overhead_budget]. *)
+type cost_model = {
+  spawn_overhead_ns : int;  (** Domain.spawn + join cost bound *)
+  overhead_budget : int;  (** chunk work / spawn cost floor *)
+  default_ns_per_bit : float;
+      (** assumed decode speed when the calibration probe cannot resolve
+          the clock; deliberately {e fast}, so an unresolved probe only
+          ever makes chunks bigger (never an oversubscribed loss) *)
+}
+
+(** 50us spawn bound, 10x work floor, 1 ns/bit fallback. *)
+val default_cost_model : cost_model
+
+(** [min_chunk_bits model ~ns_per_bit] — the smallest chunk worth a
+    worker under [model] for a decoder measured at [ns_per_bit].
+    Non-finite or non-positive [ns_per_bit] falls back to
+    [model.default_ns_per_bit]. *)
+val min_chunk_bits : cost_model -> ns_per_bit:float -> int
+
+(** [plan ~offsets ~sizes ~jobs ~min_bits] — cut the segments into at
+    most [jobs] contiguous chunks of at least [min_bits] bits each
+    (the final chunk takes the remainder; a single chunk is returned
+    when the image is too small to split).  [offsets.(i)] is segment
+    [i]'s bit offset, [sizes.(i)] its size.  Empty input yields an
+    empty plan.  Raises [Invalid_argument] on mismatched arrays or
+    [jobs < 1]. *)
+val plan :
+  offsets:int array -> sizes:int array -> jobs:int -> min_bits:int ->
+  chunk array
+
+(** [gather pieces] — concatenate per-chunk byte strings in plan order
+    into one image (a byte blit per piece: chunks hold whole
+    byte-aligned segments). *)
+val gather : string list -> string

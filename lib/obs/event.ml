@@ -11,13 +11,22 @@
    non-deterministic (addresses, wall-clock time) may appear in fetch or
    gauge lines.  Span lines carry wall-clock timings and are exempt. *)
 
-type stage = Lower | Schedule | Regalloc | Encode | Decoder_gen | Simulate | Bench
+type stage =
+  | Lower
+  | Schedule
+  | Regalloc
+  | Encode
+  | Decode
+  | Decoder_gen
+  | Simulate
+  | Bench
 
 let stage_name = function
   | Lower -> "lower"
   | Schedule -> "schedule"
   | Regalloc -> "regalloc"
   | Encode -> "encode"
+  | Decode -> "decode"
   | Decoder_gen -> "decoder_gen"
   | Simulate -> "simulate"
   | Bench -> "bench"

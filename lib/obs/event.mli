@@ -6,8 +6,18 @@
     byte-identical streams), span lines carry wall-clock time and are
     exempt. *)
 
-(** The compiler/simulator/benchmark stages spans can cover. *)
-type stage = Lower | Schedule | Regalloc | Encode | Decoder_gen | Simulate | Bench
+(** The compiler/simulator/benchmark stages spans can cover.  [Decode] is
+    the decompression direction — the parallel image decoder's per-chunk
+    spans land there. *)
+type stage =
+  | Lower
+  | Schedule
+  | Regalloc
+  | Encode
+  | Decode
+  | Decoder_gen
+  | Simulate
+  | Bench
 
 val stage_name : stage -> string
 

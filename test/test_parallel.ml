@@ -23,19 +23,50 @@ let test_map_edges () =
     (Cccs.Parallel.map ~jobs:16 succ [ 1; 2 ])
 
 let test_map_error_propagates () =
-  (* Items 3.. all fail; the failure with the smallest item index is the
-     one re-raised, at every job count. *)
+  let boom x = if x >= 3 then failwith (Printf.sprintf "boom%d" x) else x in
+  (* Sequential (jobs=1) is fail-fast: the smallest-index failure
+     re-raised verbatim. *)
+  Alcotest.check_raises "sequential is fail-fast" (Failure "boom3") (fun () ->
+      ignore (Cccs.Parallel.map ~jobs:1 boom [ 0; 1; 2; 3; 4; 5; 6; 7 ]));
+  (* A parallel pool drains every item, so the re-raised smallest-index
+     failure names all failing indices — deterministically, whatever the
+     schedule.  ~force exercises real domains even on a 1-core machine. *)
   List.iter
     (fun jobs ->
       Alcotest.check_raises
-        (Printf.sprintf "first failing index wins (jobs=%d)" jobs)
-        (Failure "boom3")
+        (Printf.sprintf "all failing indices named (jobs=%d)" jobs)
+        (Failure "boom3 [parallel: 5 items failed: 3,4,5,6,7]")
         (fun () ->
           ignore
-            (Cccs.Parallel.map ~jobs
-               (fun x -> if x >= 3 then failwith (Printf.sprintf "boom%d" x) else x)
+            (Cccs.Parallel.map ~jobs ~force:true boom
                [ 0; 1; 2; 3; 4; 5; 6; 7 ])))
-    [ 1; 2; 4 ]
+    [ 2; 4 ];
+  (* A single failing item keeps its exception byte-identical to the
+     sequential raise — no index suffix. *)
+  Alcotest.check_raises "single failure stays verbatim" (Failure "boom3")
+    (fun () ->
+      ignore (Cccs.Parallel.map ~jobs:2 ~force:true boom [ 0; 1; 2; 3 ]))
+
+let test_effective_jobs () =
+  let cores = max 1 (Cccs.Parallel.cores ()) in
+  (* The never-lose clamp: a jobs request degrades to the core count... *)
+  check "clamped to cores" (min 4 cores)
+    (Cccs.Parallel.effective_jobs ~jobs:4 100);
+  (* ...unless forced (tests/benchmarks that must spawn real domains). *)
+  check "force bypasses the core clamp" 4
+    (Cccs.Parallel.effective_jobs ~force:true ~jobs:4 100);
+  check "never more workers than items" 2
+    (Cccs.Parallel.effective_jobs ~force:true ~jobs:4 2);
+  check "max_jobs cap holds even forced" Cccs.Parallel.max_jobs
+    (Cccs.Parallel.effective_jobs ~force:true ~jobs:1000 10_000)
+
+let test_map_force_spawns_and_matches () =
+  (* Forced domains on any machine still gather in input order. *)
+  let xs = List.init 101 (fun i -> i) in
+  let f x = (7 * x) + 1 in
+  Alcotest.(check (list int))
+    "forced parallel = List.map" (List.map f xs)
+    (Cccs.Parallel.map ~jobs:4 ~force:true f xs)
 
 let test_nested_degrades () =
   (* A parallel region inside a worker runs sequentially in place; the
@@ -100,6 +131,9 @@ let suite =
       test_map_matches_list_map;
     Alcotest.test_case "map edge cases" `Quick test_map_edges;
     Alcotest.test_case "map error propagation" `Quick test_map_error_propagates;
+    Alcotest.test_case "effective_jobs clamping" `Quick test_effective_jobs;
+    Alcotest.test_case "forced domains gather in order" `Quick
+      test_map_force_spawns_and_matches;
     Alcotest.test_case "nested regions degrade" `Quick test_nested_degrades;
     Alcotest.test_case "CCCS_JOBS parsing" `Quick test_default_jobs_env;
     Alcotest.test_case "fig5 sweep: parallel = sequential" `Slow
